@@ -1,0 +1,89 @@
+//! Criterion benches over the architecture-layer kernels: address mapping
+//! (Eqs. 1-6), gain-LUT lookups, functional MLC line writes/reads, the
+//! power stacks (Figs. 7-8), and the crossbar corruption study (Fig. 2).
+
+use comet::{AddressMapper, CometConfig, CometMemory, CometPowerModel, GainLut};
+use cosmos::{run_corruption_experiment, CosmosConfig, CosmosPowerModel, TestImage};
+use criterion::{criterion_group, criterion_main, Criterion};
+use memsim::DecodedAddress;
+use photonic::OpticalParams;
+use std::hint::black_box;
+
+fn bench_mapping(c: &mut Criterion) {
+    let mapper = AddressMapper::new(&CometConfig::comet_4b());
+    c.bench_function("eq1_6/map_unmap_1k", |b| {
+        b.iter(|| {
+            for i in 0..1024u64 {
+                let flat = DecodedAddress {
+                    channel: 0,
+                    bank: i % 4,
+                    row: (i * 7919) % (4096 * 512),
+                    column: (i * 31) % 256,
+                };
+                black_box(mapper.unmap(mapper.map(flat)));
+            }
+        })
+    });
+}
+
+fn bench_lut(c: &mut Criterion) {
+    let params = OpticalParams::table_i();
+    let lut = GainLut::for_bits(4, 512, &params);
+    c.bench_function("lut/gain_for_row_1k", |b| {
+        b.iter(|| {
+            for row in 0..1024u64 {
+                black_box(lut.gain_for_row(row));
+            }
+        })
+    });
+}
+
+fn bench_functional_memory(c: &mut Criterion) {
+    c.bench_function("memory/write_read_64_lines", |b| {
+        let line: Vec<u8> = (0..128).collect();
+        b.iter(|| {
+            let mut mem = CometMemory::new(CometConfig::comet_4b());
+            for k in 0..64u64 {
+                mem.write_line(k * 128, &line);
+            }
+            for k in 0..64u64 {
+                black_box(mem.read_line(k * 128));
+            }
+        })
+    });
+}
+
+fn bench_power_stacks(c: &mut Criterion) {
+    c.bench_function("fig7/comet_power_stack", |b| {
+        b.iter(|| black_box(CometPowerModel::new(CometConfig::comet_4b()).stack()))
+    });
+    c.bench_function("fig8/cosmos_power_stack", |b| {
+        b.iter(|| black_box(CosmosPowerModel::new(CosmosConfig::corrected()).stack()))
+    });
+}
+
+fn bench_corruption(c: &mut Criterion) {
+    let image = TestImage::synthetic(32, 16, 16);
+    let mut group = c.benchmark_group("fig2/corruption_experiment");
+    group.sample_size(20);
+    group.bench_function("original_cosmos_4_writes", |b| {
+        b.iter(|| {
+            black_box(run_corruption_experiment(
+                &CosmosConfig::original(),
+                &image,
+                4,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    architecture,
+    bench_mapping,
+    bench_lut,
+    bench_functional_memory,
+    bench_power_stacks,
+    bench_corruption
+);
+criterion_main!(architecture);

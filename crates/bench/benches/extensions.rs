@@ -1,0 +1,84 @@
+//! Criterion benchmarks of the extension modules (laser power management,
+//! wear leveling, readout reliability, trace I/O) — the pieces that sit on
+//! the memory controller's fast path and must stay cheap.
+
+use comet::{
+    CometConfig, DriftModel, LaserPowerManager, ReadoutReliability, StartGapRemapper,
+    WindowedPolicy,
+};
+use comet_units::{Power, Time};
+use criterion::{criterion_group, criterion_main, Criterion};
+use memsim::{read_trace, spec_like_suite, write_trace, TraceClock};
+use std::hint::black_box;
+
+fn bench_laser_manager(c: &mut Criterion) {
+    c.bench_function("laser/10k_accesses_sparse", |b| {
+        b.iter(|| {
+            let mut mgr = LaserPowerManager::new(
+                WindowedPolicy::default_1us(),
+                Power::from_watts(34.3),
+                Power::from_watts(1.0),
+            );
+            let mut stalls = Time::ZERO;
+            for k in 0..10_000u64 {
+                // Bursty pattern: clusters of 10 accesses, 5 us apart.
+                let t = Time::from_nanos((k / 10) as f64 * 5000.0 + (k % 10) as f64 * 4.0);
+                stalls = stalls + mgr.on_access(t);
+            }
+            black_box(mgr.finish(Time::from_micros(5_100.0)));
+            black_box(stalls)
+        })
+    });
+}
+
+fn bench_start_gap(c: &mut Criterion) {
+    c.bench_function("wear/start_gap_100k_writes", |b| {
+        b.iter(|| {
+            let mut sg = StartGapRemapper::new(512, 64);
+            let mut acc = 0u64;
+            for i in 0..100_000u64 {
+                acc = acc.wrapping_add(sg.write(i % 512));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_reliability(c: &mut Criterion) {
+    c.bench_function("reliability/worst_row_error_512_rows", |b| {
+        let rel = ReadoutReliability::new(CometConfig::comet_4b());
+        b.iter(|| black_box(rel.worst_row_error()))
+    });
+    c.bench_function("reliability/scrub_interval_b4", |b| {
+        let drift = DriftModel::default();
+        b.iter(|| black_box(drift.scrub_interval(4)))
+    });
+}
+
+fn bench_trace_io(c: &mut Criterion) {
+    let profile = &spec_like_suite(10_000)[0];
+    let reqs = profile.generate(7);
+    let clock = TraceClock::two_ghz();
+    let mut text = Vec::new();
+    write_trace(&mut text, &reqs, clock).expect("in-memory write cannot fail");
+
+    c.bench_function("trace/write_10k", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(text.len());
+            write_trace(&mut buf, &reqs, clock).expect("in-memory write cannot fail");
+            black_box(buf)
+        })
+    });
+    c.bench_function("trace/read_10k", |b| {
+        b.iter(|| black_box(read_trace(text.as_slice(), clock, 64).expect("valid trace")))
+    });
+}
+
+criterion_group!(
+    extensions,
+    bench_laser_manager,
+    bench_start_gap,
+    bench_reliability,
+    bench_trace_io
+);
+criterion_main!(extensions);

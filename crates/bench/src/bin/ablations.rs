@@ -1,0 +1,378 @@
+//! Ablation studies over COMET's design choices (DESIGN.md Section 7).
+//!
+//! Each block toggles one mechanism the paper argues for and measures what
+//! it buys, on a mixed random workload:
+//!
+//! * EO vs thermal MR tuning (the Section II.B argument);
+//! * GST-switch subarray gating vs a passive splitter tree (laser power);
+//! * bit density b ∈ {1,2,4} (the Fig. 7 trade);
+//! * subarray striping ways (write-stream parallelism);
+//! * background vs inline erase;
+//! * FR-FCFS vs FCFS scheduling.
+
+use comet::{CometConfig, CometDevice, CometPowerModel, LaserPolicy, WindowedPolicy};
+use comet_bench::{header, Table};
+use comet_units::{ByteCount, Decibels, Time};
+use memsim::{run_simulation, MemOp, MemRequest, ReplayMode, Scheduler, SimConfig};
+use photonic::{Laser, MrTuning, OpticalParams};
+
+fn mixed_trace(n: u64, write_period: u64) -> Vec<MemRequest> {
+    (0..n)
+        .map(|i| {
+            let op = if i % write_period == 0 {
+                MemOp::Write
+            } else {
+                MemOp::Read
+            };
+            // Large-prime stride for low locality.
+            MemRequest::new(
+                i,
+                Time::from_nanos(i as f64 * 0.5),
+                op,
+                i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % (1 << 30),
+                ByteCount::new(128),
+            )
+        })
+        .collect()
+}
+
+fn run(cfg: CometConfig, trace: &[MemRequest], sched: Scheduler) -> (f64, f64) {
+    let mut dev = CometDevice::new(cfg);
+    let stats = run_simulation(
+        &mut dev,
+        trace,
+        &SimConfig {
+            scheduler: sched,
+            replay: ReplayMode::Paced,
+            workload: "ablation".into(),
+        },
+    );
+    (
+        stats.bandwidth().as_gigabytes_per_second(),
+        stats.avg_latency().as_nanos(),
+    )
+}
+
+fn main() {
+    header(
+        "ablations",
+        "COMET design-choice ablations",
+        "quantifies each mechanism the paper argues for (Sections II.B, \
+         III.C-E)",
+    );
+
+    let trace = mixed_trace(20_000, 5);
+
+    // --- MR tuning mechanism: access latency impact.
+    println!("## MR tuning mechanism (per-access row gating)");
+    let mut tuning = Table::new(vec!["mechanism", "row_access", "unloaded_read_latency_ns"]);
+    for mech in [MrTuning::ElectroOptic, MrTuning::Thermal] {
+        let mut cfg = CometConfig::comet_4b();
+        cfg.timing.row_access_time = mech.latency();
+        tuning.row(vec![
+            mech.to_string(),
+            format!("{}", mech.latency()),
+            format!("{:.0}", cfg.timing.unloaded_read_latency().as_nanos()),
+        ]);
+    }
+    tuning.print();
+
+    // --- Subarray access: GST switch vs passive splitter tree.
+    println!("## subarray access mechanism (laser power per wavelength)");
+    let params = OpticalParams::table_i();
+    let laser = Laser::table_i();
+    let target = params.max_power_at_cell;
+    let switch_loss = params.gst_switch_loss;
+    // A passive splitter to sqrt(S_r)=64 subarray rows costs 10*log10(64).
+    let splitter_loss = Decibels::new(10.0 * 64f64.log10());
+    let mut access = Table::new(vec!["mechanism", "access_loss_dB", "laser_mW_per_channel"]);
+    for (name, loss) in [("gst-switch", switch_loss), ("splitter-64", splitter_loss)] {
+        access.row(vec![
+            name.to_string(),
+            format!("{:.2}", loss.value()),
+            format!(
+                "{:.2}",
+                laser.electrical_power_for_target(target, loss).as_milliwatts()
+            ),
+        ]);
+    }
+    access.print();
+
+    // --- Bit density.
+    println!("## bit density (power vs capacity-normalized cost)");
+    let mut density = Table::new(vec!["config", "total_power_W", "bandwidth_GBs"]);
+    for cfg in CometConfig::bit_density_sweep() {
+        let name = format!("COMET-{}b", cfg.bits_per_cell);
+        let power = CometPowerModel::new(cfg.clone()).stack().total().as_watts();
+        let (bw, _) = run(cfg, &trace, Scheduler::default());
+        density.row(vec![name, format!("{power:.1}"), format!("{bw:.1}")]);
+    }
+    density.print();
+
+    // --- Subarray striping.
+    println!("## subarray striping (write-stream parallelism)");
+    let stream_writes: Vec<MemRequest> = (0..20_000u64)
+        .map(|i| {
+            MemRequest::new(
+                i,
+                Time::from_nanos(i as f64 * 0.5),
+                if i % 3 == 0 { MemOp::Write } else { MemOp::Read },
+                i * 128,
+                ByteCount::new(128),
+            )
+        })
+        .collect();
+    let mut stripe_table = Table::new(vec!["stripe_ways", "stream_bw_GBs", "avg_latency_ns"]);
+    for stripe in [1u64, 4, 16, 64, 256] {
+        let mut cfg = CometConfig::comet_4b();
+        cfg.subarray_stripe = stripe;
+        let (bw, lat) = run(cfg, &stream_writes, Scheduler::default());
+        stripe_table.row(vec![
+            stripe.to_string(),
+            format!("{bw:.1}"),
+            format!("{lat:.0}"),
+        ]);
+    }
+    stripe_table.print();
+
+    // --- Erase policy.
+    println!("## erase policy");
+    let mut erase = Table::new(vec!["policy", "bw_GBs", "avg_latency_ns"]);
+    for (name, background) in [("background-erase", true), ("inline-erase", false)] {
+        let mut cfg = CometConfig::comet_4b();
+        cfg.timing.background_erase = background;
+        let (bw, lat) = run(cfg, &trace, Scheduler::default());
+        erase.row(vec![name.to_string(), format!("{bw:.1}"), format!("{lat:.0}")]);
+    }
+    erase.print();
+
+    // --- Scheduler.
+    println!("## scheduler");
+    let mut sched = Table::new(vec!["scheduler", "bw_GBs", "avg_latency_ns"]);
+    for (name, s) in [
+        ("FR-FCFS(8)", Scheduler::FrFcfs { window: 8 }),
+        ("FCFS", Scheduler::Fcfs),
+    ] {
+        let (bw, lat) = run(CometConfig::comet_4b(), &trace, s);
+        sched.row(vec![name.to_string(), format!("{bw:.1}"), format!("{lat:.0}")]);
+    }
+    sched.print();
+
+    // --- WDM crosstalk mitigation (the paper's ongoing work [49]-[51]):
+    // accumulated heterodyne crosstalk at the interface demux vs filter
+    // order and ring Q, against the per-bit-density analog margins.
+    println!("## WDM crosstalk mitigation (interface demux; ongoing work [49]-[51])");
+    let mut xt = Table::new(vec![
+        "demux_ring",
+        "filter_order",
+        "channels",
+        "total_crosstalk",
+        "fits_b4_margin",
+        "max_channels_b4",
+    ]);
+    {
+        use photonic::{FilterOrder, LevelBudget, Microring, WdmCrosstalkAnalysis};
+        let b4 = LevelBudget::for_bits(4);
+        for (ring_name, ring) in [
+            ("access-Q8k", Microring::comet_default()),
+            ("demux-Q40k", Microring::interface_demux()),
+        ] {
+            for order in [FilterOrder::Single, FilterOrder::Double] {
+                let a = WdmCrosstalkAnalysis::new(ring, 256, order);
+                xt.row(vec![
+                    ring_name.to_string(),
+                    format!("{order:?}"),
+                    "256".to_string(),
+                    format!("{:.4}", a.total_crosstalk()),
+                    a.within_budget(&b4).to_string(),
+                    WdmCrosstalkAnalysis::max_channels_within(ring, order, &b4).to_string(),
+                ]);
+            }
+        }
+    }
+    xt.print();
+
+    // --- Bit density beyond b=4: why the paper stops there even though
+    // [17] demonstrates >34 states (5 bits). Chains the level budget, LUT
+    // granularity, end-to-end readout BER and drift scrub interval.
+    println!("## bit density feasibility (including the 5-bit cell of [17])");
+    let mut feas = Table::new(vec![
+        "bits",
+        "levels",
+        "spacing_pct",
+        "loss_tolerance_dB",
+        "lut_step_rows",
+        "worst_row_level_error",
+        "drift_scrub_interval_s",
+    ]);
+    {
+        use comet::{DriftModel, ReadoutReliability};
+        use photonic::LevelBudget;
+        let drift = DriftModel::default();
+        for bits in [1u8, 2, 4, 5] {
+            let mut cfg = CometConfig::comet_4b();
+            cfg.bits_per_cell = bits;
+            let budget = LevelBudget::for_bits(bits);
+            let rel = ReadoutReliability::new(cfg.clone());
+            let step = comet::GainLut::step_rows(bits, &cfg.optical);
+            feas.row(vec![
+                bits.to_string(),
+                budget.levels.to_string(),
+                format!("{:.1}", 100.0 / (budget.levels - 1) as f64),
+                format!("{:.2}", budget.loss_tolerance.value()),
+                step.to_string(),
+                format!("{:.2e}", rel.worst_row_error()),
+                {
+                    let s = drift.scrub_interval(bits).as_seconds();
+                    // A century is "never" for scrub purposes.
+                    if s > 3.15e9 {
+                        ">100y".to_string()
+                    } else {
+                        format!("{s:.0}")
+                    }
+                },
+            ]);
+        }
+    }
+    feas.print();
+
+    // The same question at the physics layer: a 32-level program table
+    // from the thermal model ([17]'s ">34 states" claim supports it) —
+    // programmable, but with ~half the spacing and the slowest level
+    // dominating write time.
+    println!("## 5-bit programming (physics layer)");
+    let mut p5 = Table::new(vec![
+        "bits",
+        "levels",
+        "spacing",
+        "max_write_ns",
+        "max_write_pJ",
+        "loss_margin",
+    ]);
+    {
+        use opcm_phys::{CellThermalModel, ProgramMode, ProgramTable};
+        let model = CellThermalModel::comet_gst();
+        for bits in [4u8, 5] {
+            match ProgramTable::generate(&model, ProgramMode::AmorphousReset, bits) {
+                Ok(table) => {
+                    p5.row(vec![
+                        bits.to_string(),
+                        table.levels.len().to_string(),
+                        format!("{:.3}", table.spacing),
+                        format!("{:.0}", table.max_write_latency().as_nanos()),
+                        format!("{:.0}", table.max_write_energy().as_picojoules()),
+                        format!("{:.3}", table.loss_margin()),
+                    ]);
+                }
+                Err(e) => {
+                    p5.row(vec![
+                        bits.to_string(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        format!("{e:?}"),
+                    ]);
+                }
+            }
+        }
+    }
+    p5.print();
+
+    // --- Wear leveling: start-gap vs none on hot-spot write traffic.
+    println!("## wear leveling (start-gap vs direct mapping, hot-spot writes)");
+    let mut wear_table = Table::new(vec![
+        "mapping",
+        "wear_imbalance",
+        "relative_lifetime",
+        "write_amplification_pct",
+    ]);
+    {
+        use comet::{StartGapRemapper, WearTracker};
+        const ROWS: u64 = 512;
+        const WRITES: u64 = 500_000;
+        // 80% of writes hammer 4 hot rows; 20% spread uniformly.
+        let target = |i: u64| {
+            if i % 5 != 0 {
+                (i / 5) % 4
+            } else {
+                i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % ROWS
+            }
+        };
+        // Direct mapping.
+        let mut direct = WearTracker::new(ROWS);
+        for i in 0..WRITES {
+            direct.record(target(i));
+        }
+        wear_table.row(vec![
+            "direct".to_string(),
+            format!("{:.1}", direct.imbalance()),
+            "1.0".to_string(),
+            "0.0".to_string(),
+        ]);
+        // Start-gap at several gap periods: faster rotation levels harder
+        // but costs proportionally more copy writes.
+        for period in [128u64, 32, 8] {
+            let mut sg = StartGapRemapper::new(ROWS, period);
+            let mut leveled = WearTracker::new(sg.physical_rows());
+            for i in 0..WRITES {
+                leveled.record(sg.write(target(i)));
+            }
+            let amp = 100.0 * sg.move_writes() as f64 / WRITES as f64;
+            wear_table.row(vec![
+                format!("start-gap({period})"),
+                format!("{:.1}", leveled.imbalance()),
+                format!("{:.1}", direct.max_wear() as f64 / leveled.max_wear() as f64),
+                format!("{amp:.2}"),
+            ]);
+        }
+    }
+    wear_table.print();
+
+    // --- Dynamic laser power management (the paper's future-work note,
+    // implemented in `comet::laser` after [43]): sweep demand intensity and
+    // compare the static stack against windowed gating.
+    println!("## dynamic laser power management (future work, Section IV.C)");
+    let mut dlpm = Table::new(vec![
+        "interarrival_ns",
+        "policy",
+        "epb_pJb",
+        "bw_GBs",
+        "wakeups",
+    ]);
+    for interarrival_ns in [0.5, 50.0, 5_000.0, 500_000.0] {
+        let sparse: Vec<MemRequest> = (0..2_000u64)
+            .map(|i| {
+                MemRequest::new(
+                    i,
+                    Time::from_nanos(i as f64 * interarrival_ns),
+                    if i % 5 == 0 { MemOp::Write } else { MemOp::Read },
+                    i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % (1 << 30),
+                    ByteCount::new(128),
+                )
+            })
+            .collect();
+        for (name, policy) in [
+            ("static", LaserPolicy::Static),
+            (
+                "windowed-1us",
+                LaserPolicy::Windowed(WindowedPolicy::default_1us()),
+            ),
+            (
+                "windowed-200ns",
+                LaserPolicy::Windowed(WindowedPolicy::aggressive()),
+            ),
+        ] {
+            let mut dev = CometDevice::with_policy(CometConfig::comet_4b(), policy);
+            let stats = run_simulation(&mut dev, &sparse, &SimConfig::paced("dlpm"));
+            dlpm.row(vec![
+                format!("{interarrival_ns}"),
+                name.to_string(),
+                format!("{:.2}", stats.energy_per_bit().as_picojoules_per_bit()),
+                format!("{:.2}", stats.bandwidth().as_gigabytes_per_second()),
+                dev.laser_wakeups().to_string(),
+            ]);
+        }
+    }
+    dlpm.print();
+}

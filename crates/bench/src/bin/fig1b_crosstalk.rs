@@ -1,0 +1,55 @@
+//! Fig. 1(b) — crosstalk experienced at a COSMOS crossbar cell, and the
+//! corruption arithmetic it implies.
+
+use comet_bench::{header, Table};
+use comet_units::{Decibels, Energy};
+use photonic::{CrossbarCrosstalk, Microring};
+
+fn main() {
+    header(
+        "fig1b",
+        "crossbar write crosstalk",
+        "~-18 dB coupling: a 750 pJ write leaks ~12 pJ into adjacent cells, \
+         shifting their crystalline fraction by ~8% (Section II.B)",
+    );
+
+    let xt = CrossbarCrosstalk::cosmos();
+    let mut table = Table::new(vec![
+        "write_energy_pJ",
+        "leaked_energy_pJ",
+        "fraction_shift_pct",
+        "writes_to_corrupt_b4",
+        "writes_to_corrupt_b2",
+    ]);
+    for pj in [135.0, 250.0, 500.0, 750.0] {
+        let e = Energy::from_picojoules(pj);
+        table.row(vec![
+            format!("{pj:.0}"),
+            format!("{:.2}", xt.leaked_energy(e).as_picojoules()),
+            format!("{:.2}", xt.fraction_shift(e) * 100.0),
+            xt.writes_to_corruption(e, 16, 0.9).to_string(),
+            xt.writes_to_corruption(e, 4, 0.9).to_string(),
+        ]);
+    }
+    table.print();
+
+    // Spectral crosstalk context: the MR-gated COMET cell sees only
+    // adjacent-channel leakage, orders of magnitude below the crossbar's.
+    let mr = Microring::comet_default();
+    let mut spectral = Table::new(vec!["channel_spacing_nm", "mr_drop_crosstalk_dB"]);
+    for spacing_nm in [0.2, 0.4, 0.8, 1.6] {
+        let xtalk = mr.adjacent_channel_crosstalk(comet_units::Length::from_nanometers(
+            spacing_nm,
+        ));
+        spectral.row(vec![
+            format!("{spacing_nm:.1}"),
+            format!("-{:.1}", xtalk.value()),
+        ]);
+    }
+    spectral.print();
+
+    println!(
+        "# crossbar coupling: -{} vs isolated COMET cell: none (MR-gated)",
+        Decibels::new(18.0)
+    );
+}

@@ -1,0 +1,60 @@
+//! Fig. 3 — refractive index `n` and extinction coefficient `κ` of GST,
+//! GSST and Sb₂Se₃ in both phases across the optical C-band.
+
+use comet_bench::{header, Table};
+use opcm_phys::{material_spectra, PcmKind, Phase};
+
+fn main() {
+    header(
+        "fig3",
+        "PCM candidate n/kappa spectra (C-band)",
+        "GST shows the highest refractive-index and extinction contrast of \
+         the three candidates, motivating its selection (Section III.A)",
+    );
+
+    let mut table = Table::new(vec![
+        "material",
+        "phase",
+        "wavelength_nm",
+        "n",
+        "kappa",
+    ]);
+    for p in material_spectra(15) {
+        table.row(vec![
+            p.kind.to_string(),
+            p.phase.to_string(),
+            format!("{:.1}", p.wavelength.as_nanometers()),
+            format!("{:.4}", p.index.n),
+            format!("{:.6}", p.index.kappa),
+        ]);
+    }
+    table.print();
+
+    // The selection metric the paper reads off this figure.
+    let mut contrast = Table::new(vec![
+        "material",
+        "index_contrast_1550",
+        "extinction_contrast_1550",
+    ]);
+    let lambda = opcm_phys::reference_wavelength();
+    for kind in PcmKind::ALL {
+        let m = kind.material();
+        contrast.row(vec![
+            kind.to_string(),
+            format!("{:.4}", m.index_contrast(lambda)),
+            format!("{:.4}", m.extinction_contrast(lambda)),
+        ]);
+    }
+    contrast.print();
+
+    let gst = PcmKind::Gst.material();
+    let a = gst.refractive_index(Phase::Amorphous, lambda);
+    let c = gst.refractive_index(Phase::Crystalline, lambda);
+    println!(
+        "# GST @1550nm: amorphous n={:.2}, crystalline n={:.2} (dn={:.2}), kappa_c={:.2}",
+        a.n,
+        c.n,
+        c.n - a.n,
+        c.kappa
+    );
+}

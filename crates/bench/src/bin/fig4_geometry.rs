@@ -1,0 +1,58 @@
+//! Fig. 4 — optical absorption contrast and transmission contrast of the
+//! GST cell across geometries (width × thickness).
+
+use comet_bench::{header, Table};
+use comet_units::Length;
+use opcm_phys::{reference_wavelength, CellOpticalModel};
+
+fn main() {
+    header(
+        "fig4",
+        "GST cell contrast vs geometry",
+        "~95% transmission and absorption contrast at 20 nm thickness for \
+         the 2 um cell; width impact negligible (Section III.B)",
+    );
+
+    let model = CellOpticalModel::comet_gst();
+    let lambda = reference_wavelength();
+    let widths: Vec<Length> = [300.0, 360.0, 420.0, 480.0]
+        .iter()
+        .map(|&w| Length::from_nanometers(w))
+        .collect();
+    let thicknesses: Vec<Length> = [5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 40.0, 50.0]
+        .iter()
+        .map(|&t| Length::from_nanometers(t))
+        .collect();
+
+    let mut table = Table::new(vec![
+        "width_nm",
+        "thickness_nm",
+        "transmission_contrast",
+        "absorption_contrast",
+    ]);
+    for p in model.geometry_sweep(&widths, &thicknesses, lambda) {
+        table.row(vec![
+            format!("{:.0}", p.width.as_nanometers()),
+            format!("{:.0}", p.thickness.as_nanometers()),
+            format!("{:.4}", p.transmission_contrast),
+            format!("{:.4}", p.absorption_contrast),
+        ]);
+    }
+    table.print();
+
+    let selected = model.transmission_contrast(lambda);
+    println!(
+        "# selected design (480 nm, 20 nm): transmission contrast {:.3}, absorption contrast {:.3}",
+        selected,
+        model.absorption_contrast(lambda)
+    );
+    println!(
+        "# amorphous cell loss: {:.4} dB/mm at 1530 nm -> {:.4} dB/mm at 1565 nm",
+        model
+            .amorphous_loss_per_mm(Length::from_nanometers(1530.0))
+            .value(),
+        model
+            .amorphous_loss_per_mm(Length::from_nanometers(1565.0))
+            .value()
+    );
+}

@@ -1,0 +1,51 @@
+//! Fig. 6 — latency and optical transmission of the 16 crystalline-fraction
+//! levels in both programming case studies.
+
+use comet_bench::{header, Table};
+use opcm_phys::{CellThermalModel, ProgramMode, ProgramTable};
+
+fn main() {
+    header(
+        "fig6",
+        "16-level programming tables (both case studies)",
+        "16 equally spaced transmission levels (~6% spacing); case-1 \
+         (crystalline reset) ~880 pJ reset, case-2 (amorphous reset) \
+         ~280 pJ reset; max write ~170 ns (Table II)",
+    );
+
+    let model = CellThermalModel::comet_gst();
+    for mode in ProgramMode::ALL {
+        let table = ProgramTable::generate(&model, mode, 4).expect("table generation");
+        println!("# mode: {mode}");
+        println!(
+            "# reset: {:.0} ns at {:.1} mW = {:.0} pJ (reset fraction {:.2})",
+            table.reset.pulse.duration.as_nanos(),
+            table.reset.pulse.power.as_milliwatts(),
+            table.reset.energy().as_picojoules(),
+            table.reset.fraction,
+        );
+        let mut t = Table::new(vec![
+            "level",
+            "transmittance",
+            "crystalline_fraction",
+            "latency_ns",
+            "energy_pJ",
+        ]);
+        for l in &table.levels {
+            t.row(vec![
+                l.level.to_string(),
+                format!("{:.4}", l.transmittance.value()),
+                format!("{:.4}", l.crystalline_fraction),
+                format!("{:.1}", l.latency().as_nanos()),
+                format!("{:.1}", l.energy().as_picojoules()),
+            ]);
+        }
+        t.print();
+        println!(
+            "# max write latency {:.1} ns, spacing {:.3}",
+            table.max_write_latency().as_nanos(),
+            table.spacing
+        );
+        println!();
+    }
+}

@@ -1,0 +1,49 @@
+//! Fig. 7 — COMET power stacks for bit densities b ∈ {1, 2, 4}.
+
+use comet::{CometConfig, CometPowerModel};
+use comet_bench::{header, ratio, Table};
+
+fn main() {
+    header(
+        "fig7",
+        "COMET power stacks vs bit density",
+        "power falls with b; b=4 chosen to keep the overhead low \
+         (Section IV.A)",
+    );
+
+    let mut table = Table::new(vec![
+        "config",
+        "wavelengths",
+        "laser_W",
+        "soa_W",
+        "eo_tuning_W",
+        "interface_W",
+        "total_W",
+    ]);
+    let mut totals = Vec::new();
+    for cfg in CometConfig::bit_density_sweep() {
+        let name = format!("COMET-{}b", cfg.bits_per_cell);
+        let wavelengths = cfg.wavelengths();
+        let stack = CometPowerModel::new(cfg).stack();
+        totals.push((name.clone(), stack.total().as_watts()));
+        table.row(vec![
+            name,
+            wavelengths.to_string(),
+            format!("{:.2}", stack.laser.as_watts()),
+            format!("{:.2}", stack.soa.as_watts()),
+            format!("{:.4}", stack.tuning.as_watts()),
+            format!("{:.2}", stack.interface.as_watts()),
+            format!("{:.2}", stack.total().as_watts()),
+        ]);
+    }
+    table.print();
+
+    println!(
+        "# COMET-1b / COMET-4b power: {}",
+        ratio(totals[0].1, totals[2].1)
+    );
+    println!(
+        "# active SOA count (4b): {} x 1.4 mW (paper: B*Mr*Mc/46)",
+        CometConfig::comet_4b().active_soa_count()
+    );
+}

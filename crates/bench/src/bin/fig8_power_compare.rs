@@ -1,0 +1,46 @@
+//! Fig. 8 — power stacks of the corrected COSMOS vs COMET-4b.
+
+use comet::{CometConfig, CometPowerModel};
+use comet_bench::{header, ratio, Table};
+use cosmos::{CosmosConfig, CosmosPowerModel};
+
+fn main() {
+    header(
+        "fig8",
+        "COSMOS vs COMET power stacks",
+        "laser power dominates both; COMET consumes a fraction of COSMOS \
+         (paper: 26%; see EXPERIMENTS.md for our measured ratio)",
+    );
+
+    let comet = CometPowerModel::new(CometConfig::comet_4b()).stack();
+    let cosmos = CosmosPowerModel::new(CosmosConfig::corrected()).stack();
+
+    let mut table = Table::new(vec![
+        "architecture",
+        "laser_W",
+        "soa_W",
+        "eo_tuning_W",
+        "interface_W",
+        "total_W",
+    ]);
+    for (name, s) in [("COMET-4b", &comet), ("COSMOS", &cosmos)] {
+        table.row(vec![
+            name.to_string(),
+            format!("{:.2}", s.laser.as_watts()),
+            format!("{:.2}", s.soa.as_watts()),
+            format!("{:.4}", s.tuning.as_watts()),
+            format!("{:.2}", s.interface.as_watts()),
+            format!("{:.2}", s.total().as_watts()),
+        ]);
+    }
+    table.print();
+
+    println!(
+        "# COMET / COSMOS total power: {:.0}% (paper: 26%)",
+        comet.total().as_watts() / cosmos.total().as_watts() * 100.0
+    );
+    println!(
+        "# COSMOS / COMET: {}",
+        ratio(cosmos.total().as_watts(), comet.total().as_watts())
+    );
+}

@@ -1,0 +1,154 @@
+//! Fig. 9 — average bandwidth, EPB and BW/EPB of all seven memory systems
+//! across the SPEC-like workload suite.
+//!
+//! Every device replays the same workload profiles (traces sized to its
+//! native cache line so equal bytes move through each system), through the
+//! same controller/engine. Pass `--requests N` to change the trace length
+//! (default 6000) and `--seed S` for a different trace instantiation.
+
+use comet::{CometConfig, CometDevice};
+use comet_bench::{header, ratio, Table};
+use cosmos::{CosmosConfig, CosmosDevice};
+use memsim::{
+    run_simulation, spec_like_suite, DramConfig, DramDevice, EpcmConfig, EpcmDevice,
+    MemoryDevice, SimConfig, SimStats,
+};
+
+struct Summary {
+    name: String,
+    bw_gbs: f64,
+    epb_pjb: f64,
+    avg_latency_ns: f64,
+}
+
+fn parse_flag(args: &[String], flag: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let requests = parse_flag(&args, "--requests", 6000) as usize;
+    let seed = parse_flag(&args, "--seed", 42);
+
+    header(
+        "fig9",
+        "bandwidth / EPB / BW-per-EPB across memory systems",
+        "photonic >> electronic bandwidth; 3D DRAM & EPCM beat photonic \
+         EPB; COMET beats 2D DRAM and COSMOS EPB; COMET best BW/EPB \
+         (Section IV.C)",
+    );
+
+    let device_factories: Vec<Box<dyn Fn() -> Box<dyn MemoryDevice>>> = vec![
+        Box::new(|| Box::new(DramDevice::new(DramConfig::ddr3_1600_2d()))),
+        Box::new(|| Box::new(DramDevice::new(DramConfig::ddr3_3d()))),
+        Box::new(|| Box::new(DramDevice::new(DramConfig::ddr4_2400_2d()))),
+        Box::new(|| Box::new(DramDevice::new(DramConfig::ddr4_3d()))),
+        Box::new(|| Box::new(EpcmDevice::new(EpcmConfig::epcm_mm()))),
+        Box::new(|| Box::new(CosmosDevice::new(CosmosConfig::corrected()))),
+        Box::new(|| Box::new(CometDevice::new(CometConfig::comet_4b()))),
+    ];
+
+    let suite = spec_like_suite(requests);
+    let mut per_workload = Table::new(vec![
+        "device",
+        "workload",
+        "bandwidth_GBs",
+        "epb_pJb",
+        "avg_latency_ns",
+        "p50_latency_ns",
+        "p99_latency_ns",
+        "bw_per_epb",
+    ]);
+    let mut summaries: Vec<Summary> = Vec::new();
+
+    for factory in &device_factories {
+        let mut all_stats: Vec<SimStats> = Vec::new();
+        for profile in &suite {
+            let mut device = factory();
+            // Size requests to the device's native line so every system
+            // moves the same bytes.
+            let mut profile = profile.clone();
+            let line = device.topology().line_bytes;
+            profile.line_bytes = line;
+            profile.requests = requests * 64 / line as usize;
+            let trace = profile.generate(seed);
+            let stats = run_simulation(device.as_mut(), &trace, &SimConfig::paced(&profile.name));
+            per_workload.row(vec![
+                stats.device.clone(),
+                stats.workload.clone(),
+                format!("{:.3}", stats.bandwidth().as_gigabytes_per_second()),
+                format!("{:.2}", stats.energy_per_bit().as_picojoules_per_bit()),
+                format!("{:.1}", stats.avg_latency().as_nanos()),
+                format!("{:.0}", stats.histogram.percentile(50.0).as_nanos()),
+                format!("{:.0}", stats.histogram.percentile(99.0).as_nanos()),
+                format!("{:.4}", stats.bandwidth_per_epb()),
+            ]);
+            all_stats.push(stats);
+        }
+        let n = all_stats.len() as f64;
+        summaries.push(Summary {
+            name: all_stats[0].device.clone(),
+            bw_gbs: all_stats
+                .iter()
+                .map(|s| s.bandwidth().as_gigabytes_per_second())
+                .sum::<f64>()
+                / n,
+            epb_pjb: all_stats
+                .iter()
+                .map(|s| s.energy_per_bit().as_picojoules_per_bit())
+                .sum::<f64>()
+                / n,
+            avg_latency_ns: all_stats
+                .iter()
+                .map(|s| s.avg_latency().as_nanos())
+                .sum::<f64>()
+                / n,
+        });
+    }
+
+    println!("## per-workload results");
+    per_workload.print();
+
+    println!("## Fig. 9 averages");
+    let mut avg = Table::new(vec![
+        "device",
+        "avg_bandwidth_GBs",
+        "avg_epb_pJb",
+        "avg_latency_ns",
+        "bw_per_epb",
+    ]);
+    for s in &summaries {
+        avg.row(vec![
+            s.name.clone(),
+            format!("{:.3}", s.bw_gbs),
+            format!("{:.2}", s.epb_pjb),
+            format!("{:.1}", s.avg_latency_ns),
+            format!("{:.4}", s.bw_gbs / s.epb_pjb),
+        ]);
+    }
+    avg.print();
+
+    let comet = summaries.last().expect("COMET runs last");
+    println!("## COMET ratios (paper Fig. 9 quotes in parentheses)");
+    let paper = [
+        ("2D_DDR3", "100.3x BW, 4.1x EPB"),
+        ("3D_DDR3", "47.2x BW"),
+        ("2D_DDR4", "58.7x BW, 2.3x EPB"),
+        ("3D_DDR4", "42.1x BW, 6.5x BW/EPB"),
+        ("EPCM-MM", "40.6x BW"),
+        ("COSMOS", "5.1x BW, 12.9x EPB, 65.8x BW/EPB, 3x latency"),
+    ];
+    for (s, (name, quote)) in summaries.iter().zip(paper.iter()) {
+        println!(
+            "# vs {name}: BW {}, EPB {}, BW/EPB {}, latency {} (paper: {quote})",
+            ratio(comet.bw_gbs, s.bw_gbs),
+            ratio(s.epb_pjb, comet.epb_pjb),
+            ratio(comet.bw_gbs / comet.epb_pjb, s.bw_gbs / s.epb_pjb),
+            ratio(s.avg_latency_ns, comet.avg_latency_ns),
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Table I — optical loss and power parameters used for COMET power
+//! modeling, plus the quantities the architecture derives from them.
+
+use comet_bench::{header, Table};
+use comet_units::Length;
+use photonic::OpticalParams;
+
+fn main() {
+    header(
+        "table1",
+        "optical loss and power parameters",
+        "verbatim Table I constants with their derived architecture figures",
+    );
+
+    let p = OpticalParams::table_i();
+    let mut loss = Table::new(vec!["loss_parameter", "value"]);
+    loss.row(vec!["coupling loss".to_string(), format!("{}", p.coupling_loss)])
+        .row(vec!["MR drop loss".to_string(), format!("{}", p.mr_drop_loss)])
+        .row(vec!["MR through loss".to_string(), format!("{}", p.mr_through_loss)])
+        .row(vec!["EO tuned MR drop loss".to_string(), format!("{}", p.eo_mr_drop_loss)])
+        .row(vec![
+            "EO tuned MR through loss".to_string(),
+            format!("{}", p.eo_mr_through_loss),
+        ])
+        .row(vec![
+            "propagation loss".to_string(),
+            format!("{} /cm", p.propagation_loss_per_cm),
+        ])
+        .row(vec!["bending loss".to_string(), format!("{} /90deg", p.bend_loss_per_90)])
+        .row(vec!["GST switch loss".to_string(), format!("{}", p.gst_switch_loss)])
+        .row(vec!["SOA gain".to_string(), format!("{}", p.soa_gain)])
+        .row(vec![
+            "intra-subarray SOA gain".to_string(),
+            format!("{}", p.intra_subarray_soa_gain),
+        ]);
+    loss.print();
+
+    let mut power = Table::new(vec!["power_parameter", "value"]);
+    power
+        .row(vec![
+            "laser wall plug efficiency".to_string(),
+            format!("{:.0}%", p.laser_wall_plug_efficiency * 100.0),
+        ])
+        .row(vec![
+            "EO tuning power".to_string(),
+            format!(
+                "{:.1} uW/nm",
+                p.eo_tuning_power(Length::from_nanometers(1.0)).as_microwatts()
+            ),
+        ])
+        .row(vec![
+            "max power at GST cell".to_string(),
+            format!("{}", p.max_power_at_cell),
+        ])
+        .row(vec![
+            "intra-subarray SOA power".to_string(),
+            format!("{}", p.intra_subarray_soa_power),
+        ]);
+    power.print();
+
+    println!(
+        "# derived: SOA re-amplification every {} rows (15.2 dB / 0.33 dB)",
+        p.rows_per_soa_stage()
+    );
+}

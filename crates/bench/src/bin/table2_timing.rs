@@ -1,0 +1,86 @@
+//! Table II — architectural details of the photonic memory systems, with a
+//! cross-check of the write/erase budget against the physics layer.
+
+use comet::{CometConfig, CometTiming};
+use comet_bench::{header, Table};
+use cosmos::CosmosConfig;
+use opcm_phys::{CellThermalModel, ProgramMode, ProgramTable};
+
+fn main() {
+    header(
+        "table2",
+        "architectural timing of COMET and COSMOS",
+        "COMET: 4 banks, 256-bit bus, BL4, write<=170ns, erase 210ns, read \
+         10ns; COSMOS: 8 banks (16 modeled), 128-bit bus, BL8, write 1.6us, \
+         erase 250ns, read 25ns; both: 1ns bursts, 105ns interface",
+    );
+
+    let comet = CometConfig::comet_4b();
+    let cosmos = CosmosConfig::corrected();
+    let ct = comet.timing;
+    let kt = cosmos.timing;
+
+    let mut t = Table::new(vec!["parameter", "COMET", "COSMOS"]);
+    t.row(vec![
+        "banks".to_string(),
+        comet.banks.to_string(),
+        cosmos.banks.to_string(),
+    ])
+    .row(vec![
+        "bus width (bits)".to_string(),
+        ct.bus_bits.to_string(),
+        kt.bus_bits.to_string(),
+    ])
+    .row(vec![
+        "burst length".to_string(),
+        ct.burst_length.to_string(),
+        kt.burst_length.to_string(),
+    ])
+    .row(vec![
+        "bytes per access".to_string(),
+        ct.access_bytes().to_string(),
+        kt.access_bytes().to_string(),
+    ])
+    .row(vec![
+        "read time (ns)".to_string(),
+        format!("{:.0}", ct.read_time.as_nanos()),
+        format!("{:.0}", kt.read_time.as_nanos()),
+    ])
+    .row(vec![
+        "max write time (ns)".to_string(),
+        format!("{:.0}", ct.max_write_time.as_nanos()),
+        format!("{:.0}", kt.write_time.as_nanos()),
+    ])
+    .row(vec![
+        "erase time (ns)".to_string(),
+        format!("{:.0}", ct.erase_time.as_nanos()),
+        format!("{:.0}", kt.erase_time.as_nanos()),
+    ])
+    .row(vec![
+        "data burst time (ns)".to_string(),
+        format!("{:.0}", ct.burst_beat.as_nanos()),
+        format!("{:.0}", kt.burst_beat.as_nanos()),
+    ])
+    .row(vec![
+        "interface delay (ns)".to_string(),
+        format!("{:.0}", ct.interface_delay.as_nanos()),
+        format!("{:.0}", kt.interface_delay.as_nanos()),
+    ]);
+    t.print();
+
+    // Cross-check: derive the COMET budget from the device physics.
+    let model = CellThermalModel::comet_gst();
+    let table = ProgramTable::generate(&model, ProgramMode::AmorphousReset, 4)
+        .expect("physics-layer programming table");
+    let derived = CometTiming::from_program_table(&table);
+    println!(
+        "# physics cross-check (Fig. 6 table): max write {:.0} ns (Table II: 170), \
+         erase {:.0} ns (Table II: 210)",
+        derived.max_write_time.as_nanos(),
+        derived.erase_time.as_nanos()
+    );
+    println!(
+        "# unloaded COMET read latency: {:.0} ns (2 tune + 10 read + 4 burst + 105 interface)",
+        ct.unloaded_read_latency().as_nanos()
+    );
+}

@@ -1,0 +1,100 @@
+//! Shared helpers for the figure/table regeneration binaries.
+//!
+//! Every `fig*`/`table*` binary prints a small preamble plus one or more
+//! TSV blocks so outputs are both human-readable and trivially plottable
+//! (`cut`/gnuplot/pandas all read them directly).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::fmt::Display;
+
+/// Prints the standard experiment header.
+pub fn header(id: &str, title: &str, paper_anchor: &str) {
+    println!("# {id}: {title}");
+    println!("# paper anchor: {paper_anchor}");
+    println!("#");
+}
+
+/// A TSV block writer: column names first, then rows.
+#[derive(Debug)]
+pub struct Table {
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with column names.
+    pub fn new<S: Into<String>>(columns: Vec<S>) -> Self {
+        Table {
+            columns: columns.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds one row (must match the column count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the column count.
+    pub fn row<D: Display>(&mut self, cells: Vec<D>) -> &mut Self {
+        assert_eq!(cells.len(), self.columns.len(), "column count mismatch");
+        self.rows
+            .push(cells.into_iter().map(|c| c.to_string()).collect());
+        self
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Prints the block to stdout.
+    pub fn print(&self) {
+        println!("{}", self.columns.join("\t"));
+        for row in &self.rows {
+            println!("{}", row.join("\t"));
+        }
+        println!();
+    }
+}
+
+/// Formats a ratio like "7.1x".
+pub fn ratio(a: f64, b: f64) -> String {
+    if b == 0.0 {
+        "inf".into()
+    } else {
+        format!("{:.1}x", a / b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec![1, 2]).row(vec![3, 4]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn table_validates_width() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec![1]);
+    }
+
+    #[test]
+    fn ratio_format() {
+        assert_eq!(ratio(7.1, 1.0), "7.1x");
+        assert_eq!(ratio(1.0, 0.0), "inf");
+    }
+}

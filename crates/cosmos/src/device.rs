@@ -1,0 +1,271 @@
+//! COSMOS as a [`memsim::MemoryDevice`] for the Fig. 9 comparison.
+//!
+//! Timing semantics (Table II, corrected COSMOS):
+//!
+//! * **Reads** use the *subtractive* sequence — read pass (25 ns), row
+//!   reset (250 ns), read pass (25 ns) — which monopolizes the bank's
+//!   shared crossbar wavelengths for the full 300 ns (no isolation ⇒ no
+//!   pipelining; any concurrent pulse corrupts cells). The erased row is
+//!   restored lazily: the restore write (1.6 µs) occupies the target
+//!   *subarray row* in the background and blocks only accesses that touch
+//!   it again early — a generous assumption, like the paper's.
+//! * **Writes** hold the bank for the full 1.6 µs program pulse.
+//! * The PCM-switch row gating the paper added costs 100 ns when a bank
+//!   re-targets a different subarray row.
+//!
+//! Energy: 5 mW-class pulse energies per access plus the architecture's
+//! power stack as background (same accounting as COMET).
+
+use crate::arch::CosmosConfig;
+use crate::power::CosmosPowerModel;
+use comet_units::{Energy, Power, Time};
+use memsim::{AccessTiming, DecodedAddress, MemOp, MemoryDevice, Topology};
+use std::collections::HashMap;
+
+/// The COSMOS timing/energy device.
+///
+/// # Examples
+///
+/// ```
+/// use cosmos::{CosmosConfig, CosmosDevice};
+/// use memsim::MemoryDevice;
+///
+/// let dev = CosmosDevice::new(CosmosConfig::corrected());
+/// assert_eq!(dev.name(), "COSMOS");
+/// assert_eq!(dev.topology().channels, 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CosmosDevice {
+    config: CosmosConfig,
+    background: Power,
+    /// Latched PCM-switch subarray-row per bank.
+    current_subrow: Vec<Option<u64>>,
+    /// Lazily restoring rows: (bank, row) -> restore completion time.
+    restore_busy: HashMap<(u64, u64), Time>,
+}
+
+impl CosmosDevice {
+    /// Creates a device with the configuration's power stack as background.
+    pub fn new(config: CosmosConfig) -> Self {
+        let background = CosmosPowerModel::new(config.clone()).stack().total();
+        Self::with_background(config, background)
+    }
+
+    /// Creates a device with an explicit background power.
+    pub fn with_background(config: CosmosConfig, background: Power) -> Self {
+        let banks = config.banks as usize;
+        CosmosDevice {
+            config,
+            background,
+            current_subrow: vec![None; banks],
+            restore_busy: HashMap::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CosmosConfig {
+        &self.config
+    }
+
+    fn subarray_row_of(&self, loc: &DecodedAddress) -> u64 {
+        loc.row / self.config.subarray_side
+    }
+}
+
+impl MemoryDevice for CosmosDevice {
+    fn name(&self) -> String {
+        self.config.name.clone()
+    }
+
+    fn topology(&self) -> Topology {
+        // 16 banks over 16 MDM modes, each with its own lane (the paper's
+        // generous zero-loss 16-mode assumption).
+        Topology {
+            channels: self.config.banks,
+            banks: 1,
+            rows: self.config.rows,
+            columns: self.config.line_slots_per_row(),
+            line_bytes: self.config.timing.access_bytes(),
+        }
+    }
+
+    fn bank_available(&mut self, loc: &DecodedAddress, at: Time) -> Time {
+        match self.restore_busy.get(&(loc.channel, loc.row)) {
+            Some(&busy) => at.max(busy),
+            None => at,
+        }
+    }
+
+    fn access(&mut self, loc: &DecodedAddress, op: MemOp, issue: Time) -> AccessTiming {
+        let t = self.config.timing;
+        let bank = loc.channel as usize;
+        let subrow = self.subarray_row_of(loc);
+
+        let switch = if self.current_subrow[bank] == Some(subrow) {
+            Time::ZERO
+        } else {
+            self.current_subrow[bank] = Some(subrow);
+            t.subarray_switch_time
+        };
+        let start = issue + switch;
+        let cells = self.config.cells_per_line() as f64;
+        let pulse_energy = self.config.write_energy;
+
+        match op {
+            MemOp::Read => {
+                if self.config.model_subtractive_read {
+                    let sequence = t.subtractive_read_time();
+                    let data_ready = start + sequence;
+                    // The erased row restores lazily (1.6 us write-back).
+                    self.restore_busy
+                        .insert((loc.channel, loc.row), data_ready + t.write_time);
+                    AccessTiming {
+                        bank_free_at: data_ready,
+                        data_ready_at: data_ready,
+                        bus_occupancy: t.burst_time() * 2.0,
+                        // Two read passes + one reset pulse per cell.
+                        energy: pulse_energy * 0.4 * cells,
+                    }
+                } else {
+                    // The original paper's optimistic single-pass read.
+                    let data_ready = start + t.read_time;
+                    AccessTiming {
+                        bank_free_at: data_ready,
+                        data_ready_at: data_ready,
+                        bus_occupancy: t.burst_time(),
+                        energy: pulse_energy * 0.02 * cells,
+                    }
+                }
+            }
+            MemOp::Write => {
+                let data_ready = start + t.burst_time();
+                let done = start + t.write_time;
+                AccessTiming {
+                    // The crossbar's shared wavelengths are held for the
+                    // whole program pulse: no write pipelining.
+                    bank_free_at: done,
+                    data_ready_at: data_ready,
+                    bus_occupancy: t.burst_time(),
+                    energy: pulse_energy * cells,
+                }
+            }
+        }
+    }
+
+    fn row_hit(&self, loc: &DecodedAddress) -> bool {
+        self.current_subrow[loc.channel as usize] == Some(self.subarray_row_of(loc))
+    }
+
+    fn background_power(&self) -> Power {
+        self.background
+    }
+
+    fn interface_delay(&self) -> Time {
+        self.config.timing.interface_delay
+    }
+}
+
+/// Convenience: the per-line write energy of the corrected COSMOS (used in
+/// energy cross-checks).
+pub fn line_write_energy(config: &CosmosConfig) -> Energy {
+    config.write_energy * config.cells_per_line() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_units::ByteCount;
+    use memsim::{run_simulation, MemRequest, SimConfig};
+
+    fn device() -> CosmosDevice {
+        CosmosDevice::new(CosmosConfig::corrected())
+    }
+
+    fn loc(bank: u64, row: u64, col: u64) -> DecodedAddress {
+        DecodedAddress {
+            channel: bank,
+            bank: 0,
+            row,
+            column: col,
+        }
+    }
+
+    #[test]
+    fn subtractive_read_occupies_bank_300ns() {
+        let mut dev = device();
+        let a = dev.access(&loc(0, 0, 0), MemOp::Read, Time::ZERO);
+        // 100 (switch) + 300 (read+reset+read).
+        assert!((a.bank_free_at.as_nanos() - 400.0).abs() < 1e-9);
+        let b = dev.access(&loc(0, 5, 0), MemOp::Read, a.bank_free_at);
+        // Same subarray row block (row 5 < 32): no switch, 300 ns.
+        assert!((b.bank_free_at - a.bank_free_at).as_nanos() - 300.0 < 1e-9);
+    }
+
+    #[test]
+    fn restore_blocks_same_row_reaccess() {
+        let mut dev = device();
+        let a = dev.access(&loc(0, 0, 0), MemOp::Read, Time::ZERO);
+        // Re-access of the same row must wait for the 1.6 us restore.
+        let avail = dev.bank_available(&loc(0, 0, 1), a.bank_free_at);
+        assert!(avail >= a.bank_free_at + Time::from_micros(1.5));
+        // A different row is free immediately.
+        let other = dev.bank_available(&loc(0, 40, 0), a.bank_free_at);
+        assert_eq!(other, a.bank_free_at);
+    }
+
+    #[test]
+    fn writes_hold_bank_for_1_6_us() {
+        let mut dev = device();
+        let w = dev.access(&loc(0, 0, 0), MemOp::Write, Time::ZERO);
+        assert!((w.bank_free_at.as_nanos() - 1700.0).abs() < 1e-9); // 100 + 1600
+    }
+
+    #[test]
+    fn cosmos_is_much_slower_than_comet_on_mixed_traffic() {
+        use comet::{CometConfig, CometDevice};
+        let reqs: Vec<MemRequest> = (0..4000u64)
+            .map(|i| {
+                let op = if i % 5 == 0 { MemOp::Write } else { MemOp::Read };
+                MemRequest::new(i, Time::ZERO, op, i * 131 * 128, ByteCount::new(128))
+            })
+            .collect();
+        let mut cosmos = device();
+        let mut comet = CometDevice::new(CometConfig::comet_4b());
+        let sc = run_simulation(&mut cosmos, &reqs, &SimConfig::saturation("mix"));
+        let sk = run_simulation(&mut comet, &reqs, &SimConfig::saturation("mix"));
+        let ratio = sk.bandwidth() / sc.bandwidth();
+        // This strided pattern revisits COMET subarrays mid-programming
+        // (pessimal for its write overlap), so the gap here is a floor;
+        // the Fig. 9 workload suite shows the full separation.
+        assert!(
+            ratio > 2.0,
+            "COMET should be several x faster, got {ratio:.1}x \
+             (COMET {}, COSMOS {})",
+            sk.bandwidth(),
+            sc.bandwidth()
+        );
+        // And ~3x lower latency (paper: 3x).
+        assert!(sk.avg_latency() < sc.avg_latency());
+    }
+
+    #[test]
+    fn optimistic_read_variant_is_faster() {
+        let mut cfg = CosmosConfig::corrected();
+        cfg.model_subtractive_read = false;
+        let mut opt = CosmosDevice::new(cfg);
+        let mut real = device();
+        let a = opt.access(&loc(0, 0, 0), MemOp::Read, Time::ZERO);
+        let b = real.access(&loc(0, 0, 0), MemOp::Read, Time::ZERO);
+        assert!(a.bank_free_at < b.bank_free_at);
+        assert!(a.energy < b.energy);
+    }
+
+    #[test]
+    fn capacity_is_8_gbit() {
+        let dev = device();
+        assert_eq!(
+            dev.topology().capacity().value() * 8,
+            CosmosConfig::corrected().capacity_bits().value()
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the COSMOS crossbar baseline.
+//!
+//! Invariants: the crossbar is a faithful store in the absence of disturb,
+//! subtractive reads recover data on freshly-corrected arrays, thermo-optic
+//! disturb accumulates monotonically with aggressor writes, and the
+//! corrupted-image experiment degrades monotonically in write count.
+
+use cosmos::{run_corruption_experiment, CosmosConfig, Crossbar, TestImage};
+use proptest::prelude::*;
+
+fn small_levels(cols: u64, bits: u32, seed: u64) -> Vec<u8> {
+    let max = 1u64 << bits;
+    (0..cols)
+        .map(|c| {
+            let x = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(c.wrapping_mul(1442695040888963407));
+            (x % max) as u8
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn stored_levels_roundtrip_without_disturb(
+        rows in 2u64..12,
+        cols in 1u64..16,
+        seed in any::<u64>(),
+    ) {
+        // One write per row, then a drift-correction pass: ideal reads see
+        // exactly what was stored.
+        let config = CosmosConfig::corrected();
+        let mut xb = Crossbar::new(&config, rows, cols);
+        for r in 0..rows {
+            xb.write_row(r, &small_levels(cols, 2, seed ^ r));
+        }
+        xb.verify_and_correct();
+        for r in 0..rows {
+            prop_assert_eq!(xb.ideal_read_row(r), xb.stored_row(r));
+            prop_assert!(xb.row_error_rate(r).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn subtractive_read_recovers_in_steady_state(
+        rows in 4u64..10,
+        cols in 1u64..12,
+        seed in any::<u64>(),
+        target_seed in any::<u64>(),
+    ) {
+        // Steady-state operation: rows written in order, so every row's
+        // neighbours have saturated their thermo-optic drift before it is
+        // read back. (A read right after a drift-correction pass is the
+        // pathological transient: the embedded erase re-disturbs the
+        // neighbours *between* the two read passes and poisons the ratio —
+        // the very fragility the paper's Section II.B argues.)
+        let target = target_seed % (rows - 2);
+        let config = CosmosConfig::corrected();
+        let mut xb = Crossbar::new(&config, rows, cols);
+        for r in 0..rows {
+            xb.write_row(r, &small_levels(cols, 2, seed ^ r));
+        }
+        let expect = xb.stored_row(target);
+        let got = xb.subtractive_read_row(target);
+        prop_assert_eq!(&got, &expect);
+        // The write-back restored the row contents.
+        prop_assert_eq!(&xb.stored_row(target), &expect);
+    }
+
+    #[test]
+    fn disturb_accumulates_with_aggressor_writes(
+        cols in 1u64..12,
+        seed in any::<u64>(),
+        w1 in 1usize..6,
+        w2 in 1usize..6,
+    ) {
+        // More writes to an adjacent row never *reduce* a victim's error
+        // rate (drift accumulation is monotone until saturation).
+        let run = |writes: usize| {
+            let config = CosmosConfig::original();
+            let mut xb = Crossbar::new(&config, 3, cols);
+            let victim = small_levels(cols, 4, seed);
+            xb.write_row(1, &victim);
+            xb.verify_and_correct();
+            for k in 0..writes {
+                xb.write_row(0, &small_levels(cols, 4, seed ^ (k as u64 + 1)));
+            }
+            xb.row_error_rate(1)
+        };
+        let (lo, hi) = if w1 <= w2 { (w1, w2) } else { (w2, w1) };
+        prop_assert!(run(hi) >= run(lo) - 1e-12);
+    }
+
+    #[test]
+    fn corrected_config_is_disturb_immune(
+        cols in 1u64..12,
+        seed in any::<u64>(),
+        writes in 1usize..8,
+    ) {
+        // The corrected b=2 / 9 %-spacing configuration absorbs the 8 %
+        // worst-case crystalline-fraction shift without decode errors.
+        let config = CosmosConfig::corrected();
+        let mut xb = Crossbar::new(&config, 3, cols);
+        let victim = small_levels(cols, 2, seed);
+        xb.write_row(1, &victim);
+        xb.verify_and_correct();
+        for k in 0..writes {
+            xb.write_row(0, &small_levels(cols, 2, seed ^ (k as u64 + 1)));
+            xb.write_row(2, &small_levels(cols, 2, seed ^ (k as u64 + 101)));
+        }
+        prop_assert!(xb.row_error_rate(1).abs() < 1e-12, "corrected COSMOS must not corrupt");
+    }
+
+    #[test]
+    fn corruption_grows_with_write_rounds(seed_w in 8u64..24, rounds1 in 0u32..4, rounds2 in 0u32..4) {
+        let image = TestImage::synthetic(seed_w, 8, 16);
+        let (lo, hi) = if rounds1 <= rounds2 { (rounds1, rounds2) } else { (rounds2, rounds1) };
+        let e_lo = run_corruption_experiment(&CosmosConfig::original(), &image, lo).pixel_error_rate;
+        let e_hi = run_corruption_experiment(&CosmosConfig::original(), &image, hi).pixel_error_rate;
+        prop_assert!(e_hi >= e_lo - 1e-12, "corruption must grow: {lo} rounds {e_lo} vs {hi} rounds {e_hi}");
+    }
+
+    #[test]
+    fn zero_write_rounds_preserve_image(seed_w in 8u64..24) {
+        let image = TestImage::synthetic(seed_w, 8, 16);
+        let report = run_corruption_experiment(&CosmosConfig::original(), &image, 0);
+        prop_assert!(report.pixel_error_rate.abs() < 1e-12);
+    }
+}

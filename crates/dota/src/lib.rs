@@ -1,0 +1,34 @@
+//! DOTA case study — a photonic tensor-core transformer accelerator fed by
+//! different main memories (paper Section IV.D, Fig. 10).
+//!
+//! The question the paper asks: once the *compute* is photonic, which main
+//! memory minimizes the energy per bit delivered to it? Electronic
+//! memories pay an electro-optic conversion stage per bit; photonic
+//! memories (COMET, COSMOS) inject light directly.
+//!
+//! # Quick start
+//!
+//! ```
+//! use comet::{CometConfig, CometDevice};
+//! use dota::{evaluate_system, FeedKind, TransformerWorkload};
+//!
+//! let mut mem = CometDevice::new(CometConfig::comet_4b());
+//! let report = evaluate_system(
+//!     &mut mem,
+//!     FeedKind::Photonic,
+//!     &TransformerWorkload::deit_tiny(),
+//!     1,   // inferences
+//!     100, // traffic sampling divisor
+//!     42,  // seed
+//! );
+//! println!("{} + DOTA: {}", report.memory, report.total_epb());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod system;
+mod workload;
+
+pub use system::{evaluate_system, FeedKind, SystemEpbReport};
+pub use workload::TransformerWorkload;

@@ -1,0 +1,115 @@
+//! The device timing/energy interface the controller drives.
+//!
+//! Every memory technology in the evaluation — 2D/3D DDR3/DDR4, EPCM-MM,
+//! COSMOS and COMET — implements [`MemoryDevice`]. The controller owns
+//! queueing, scheduling and bus contention; the device owns bank timing
+//! state (open rows, refresh, erase bookkeeping) and per-access energy.
+
+use crate::addr::DecodedAddress;
+use crate::request::MemOp;
+use comet_units::{ByteCount, Energy, Power, Time};
+use serde::{Deserialize, Serialize};
+
+/// Static shape of a memory device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Independent channels (each with its own data bus).
+    pub channels: u64,
+    /// Banks per channel.
+    pub banks: u64,
+    /// Rows per bank.
+    pub rows: u64,
+    /// Cache-line columns per row.
+    pub columns: u64,
+    /// Cache-line size in bytes.
+    pub line_bytes: u64,
+}
+
+impl Topology {
+    /// Total capacity.
+    pub fn capacity(&self) -> ByteCount {
+        ByteCount::new(self.channels * self.banks * self.rows * self.columns * self.line_bytes)
+    }
+
+    /// Total parallel banks across channels.
+    pub fn total_banks(&self) -> u64 {
+        self.channels * self.banks
+    }
+}
+
+/// Timing and energy of one serviced access, as decided by the device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccessTiming {
+    /// When the bank becomes free for its next access.
+    pub bank_free_at: Time,
+    /// When the first data beat is ready to leave the device (reads) or
+    /// when the device has latched the data (writes).
+    pub data_ready_at: Time,
+    /// Data-bus occupancy for the line transfer.
+    pub bus_occupancy: Time,
+    /// Energy consumed by this access (activation + array + I/O).
+    pub energy: Energy,
+}
+
+/// A memory device model: timing state machine plus energy accounting.
+///
+/// Implementations are stateful (`&mut self`) — they track open rows,
+/// refresh deadlines and erase state internally. `access` is always called
+/// with a monotonically non-decreasing `issue` time per bank.
+pub trait MemoryDevice {
+    /// Human-readable name used in reports (e.g. `"2D_DDR3"`).
+    fn name(&self) -> String;
+
+    /// The device shape.
+    fn topology(&self) -> Topology;
+
+    /// Earliest time the bank could accept an access issued at `at`
+    /// (accounts for refresh windows and similar blackouts). The default
+    /// is no additional constraint.
+    fn bank_available(&mut self, _loc: &DecodedAddress, at: Time) -> Time {
+        at
+    }
+
+    /// Services one access at time `issue`, updating internal state.
+    fn access(&mut self, loc: &DecodedAddress, op: MemOp, issue: Time) -> AccessTiming;
+
+    /// Whether an access to `loc` would hit an open row buffer — used by
+    /// FR-FCFS scheduling. Devices without row buffers return `false`.
+    fn row_hit(&self, _loc: &DecodedAddress) -> bool {
+        false
+    }
+
+    /// Drains energy accumulated outside `access` calls (e.g. DRAM refresh).
+    /// Called once by the engine at the end of a run.
+    fn drain_accumulated_energy(&mut self) -> Energy {
+        Energy::ZERO
+    }
+
+    /// Constant background power (standby, biasing, idle lasers...).
+    fn background_power(&self) -> Power;
+
+    /// Extra per-access controller latency added after the data transfer
+    /// (e.g. COMET/COSMOS electrical interface delay of 105 ns). Reads
+    /// observe it before data is usable; the default is zero.
+    fn interface_delay(&self) -> Time {
+        Time::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_capacity() {
+        let t = Topology {
+            channels: 1,
+            banks: 8,
+            rows: 1 << 16,
+            columns: 128,
+            line_bytes: 64,
+        };
+        assert_eq!(t.capacity().value(), 8 * 65536 * 128 * 64);
+        assert_eq!(t.total_banks(), 8);
+    }
+}

@@ -1,0 +1,177 @@
+//! Electrically controlled PCM main memory (the paper's `EPCM-MM` baseline).
+//!
+//! A 1T-1R PCM array: non-volatile (no refresh), read latency comparable to
+//! DRAM, but asymmetric and slow writes (RESET melt pulses / SET
+//! crystallization pulses driven by current). Timing/energy follow the
+//! LL-PCM / DyPhase class of EPCM main-memory proposals the paper cites.
+
+use crate::addr::DecodedAddress;
+use crate::device::{AccessTiming, MemoryDevice, Topology};
+use crate::request::MemOp;
+use comet_units::{Energy, Power, Time};
+use serde::{Deserialize, Serialize};
+
+/// EPCM configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpcmConfig {
+    /// Report name.
+    pub name: String,
+    /// Shape.
+    pub topology: Topology,
+    /// Array read latency (sense).
+    pub read_latency: Time,
+    /// Array write latency (worst of SET/RESET for a line).
+    pub write_latency: Time,
+    /// Data-bus beat period.
+    pub bus_beat: Time,
+    /// Bus width, bits.
+    pub bus_bits: u32,
+    /// Read energy per line.
+    pub read_line: Energy,
+    /// Write energy per line (RESET-dominated).
+    pub write_line: Energy,
+    /// Background power (peripheral circuits; no refresh).
+    pub background: Power,
+}
+
+impl EpcmConfig {
+    /// The paper's `EPCM-MM` baseline: 8 banks, 60 ns reads, 150 ns writes,
+    /// x16 bus at 800 MT/s.
+    pub fn epcm_mm() -> Self {
+        EpcmConfig {
+            name: "EPCM-MM".into(),
+            topology: Topology {
+                channels: 1,
+                banks: 8,
+                rows: 1 << 16,
+                columns: 128,
+                line_bytes: 64,
+            },
+            read_latency: Time::from_nanos(60.0),
+            write_latency: Time::from_nanos(150.0),
+            bus_beat: Time::from_nanos(1.25),
+            bus_bits: 16,
+            read_line: Energy::from_nanojoules(1.0),
+            write_line: Energy::from_nanojoules(8.0),
+            background: Power::from_milliwatts(150.0),
+        }
+    }
+
+    /// Bus occupancy for one line (DDR signaling).
+    pub fn line_transfer(&self) -> Time {
+        let beats = (self.topology.line_bytes * 8) as f64 / self.bus_bits as f64;
+        self.bus_beat * (beats / 2.0)
+    }
+}
+
+/// A stateless-timing EPCM device (no rows to keep open, no refresh).
+///
+/// # Examples
+///
+/// ```
+/// use memsim::{EpcmConfig, EpcmDevice, MemoryDevice};
+///
+/// let dev = EpcmDevice::new(EpcmConfig::epcm_mm());
+/// assert_eq!(dev.name(), "EPCM-MM");
+/// ```
+#[derive(Debug, Clone)]
+pub struct EpcmDevice {
+    config: EpcmConfig,
+}
+
+impl EpcmDevice {
+    /// Creates a device.
+    pub fn new(config: EpcmConfig) -> Self {
+        EpcmDevice { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EpcmConfig {
+        &self.config
+    }
+}
+
+impl MemoryDevice for EpcmDevice {
+    fn name(&self) -> String {
+        self.config.name.clone()
+    }
+
+    fn topology(&self) -> Topology {
+        self.config.topology
+    }
+
+    fn access(&mut self, _loc: &DecodedAddress, op: MemOp, issue: Time) -> AccessTiming {
+        let transfer = self.config.line_transfer();
+        match op {
+            MemOp::Read => {
+                let data_ready = issue + self.config.read_latency;
+                AccessTiming {
+                    bank_free_at: data_ready + transfer,
+                    data_ready_at: data_ready,
+                    bus_occupancy: transfer,
+                    energy: self.config.read_line,
+                }
+            }
+            MemOp::Write => {
+                // Data moves first, then the slow array write holds the bank.
+                let data_ready = issue + transfer;
+                AccessTiming {
+                    bank_free_at: data_ready + self.config.write_latency,
+                    data_ready_at: data_ready,
+                    bus_occupancy: transfer,
+                    energy: self.config.write_line,
+                }
+            }
+        }
+    }
+
+    fn background_power(&self) -> Power {
+        self.config.background
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loc() -> DecodedAddress {
+        DecodedAddress {
+            channel: 0,
+            bank: 0,
+            row: 0,
+            column: 0,
+        }
+    }
+
+    #[test]
+    fn asymmetric_write_latency() {
+        let mut dev = EpcmDevice::new(EpcmConfig::epcm_mm());
+        let r = dev.access(&loc(), MemOp::Read, Time::ZERO);
+        let w = dev.access(&loc(), MemOp::Write, Time::ZERO);
+        assert!(w.bank_free_at.as_nanos() > r.bank_free_at.as_nanos() * 1.5);
+        assert!(w.energy > r.energy * 3.0);
+    }
+
+    #[test]
+    fn no_refresh_blackouts() {
+        let mut dev = EpcmDevice::new(EpcmConfig::epcm_mm());
+        // bank_available is the default (identity): never blocked.
+        let at = Time::from_micros(100.0);
+        assert_eq!(dev.bank_available(&loc(), at), at);
+    }
+
+    #[test]
+    fn transfer_time() {
+        // 64 B over x16 DDR at 1.25 ns beat-pair: 32 beats -> 20 ns.
+        let cfg = EpcmConfig::epcm_mm();
+        assert!((cfg.line_transfer().as_nanos() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reads_are_deterministic() {
+        let mut dev = EpcmDevice::new(EpcmConfig::epcm_mm());
+        let a = dev.access(&loc(), MemOp::Read, Time::from_nanos(100.0));
+        let b = dev.access(&loc(), MemOp::Read, Time::from_nanos(100.0));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,291 @@
+//! Simulation statistics: latency, bandwidth and energy-per-bit.
+
+use crate::request::CompletedRequest;
+use comet_units::{BitCount, ByteCount, DataRate, Energy, EnergyPerBit, Power, Time};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Energy breakdown of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Per-access energy (activation, array, I/O, laser pulses).
+    pub access: Energy,
+    /// Background power integrated over the makespan.
+    pub background: Energy,
+    /// Refresh energy (DRAM only).
+    pub refresh: Energy,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    pub fn total(&self) -> Energy {
+        self.access + self.background + self.refresh
+    }
+}
+
+/// Latency histogram with fixed logarithmic buckets (ns scale).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// Bucket upper bounds in ns: `<10, <32, <100, <316, <1k, <3.16k, <10k,
+    /// <31.6k, <100k, >=100k`.
+    counts: [u64; 10],
+    total: u64,
+}
+
+const BUCKET_BOUNDS_NS: [f64; 9] = [
+    10.0, 31.6, 100.0, 316.0, 1000.0, 3160.0, 10_000.0, 31_600.0, 100_000.0,
+];
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: [0; 10],
+            total: 0,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Time) {
+        let ns = latency.as_nanos();
+        let idx = BUCKET_BOUNDS_NS
+            .iter()
+            .position(|&b| ns < b)
+            .unwrap_or(BUCKET_BOUNDS_NS.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Bucket counts.
+    pub fn counts(&self) -> &[u64; 10] {
+        &self.counts
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Approximate percentile (returns the upper bound of the bucket
+    /// containing the percentile). `p` in `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Time {
+        let target = (self.total as f64 * p / 100.0).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let bound = BUCKET_BOUNDS_NS.get(i).copied().unwrap_or(316_000.0);
+                return Time::from_nanos(bound);
+            }
+        }
+        Time::from_nanos(316_000.0)
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Aggregate results of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Device name.
+    pub device: String,
+    /// Workload name.
+    pub workload: String,
+    /// Requests completed.
+    pub completed: u64,
+    /// Reads completed.
+    pub reads: u64,
+    /// Writes completed.
+    pub writes: u64,
+    /// Bytes transferred.
+    pub bytes: ByteCount,
+    /// Wall-clock span from first arrival to last completion.
+    pub makespan: Time,
+    /// Sum of request latencies.
+    pub total_latency: Time,
+    /// Maximum request latency.
+    pub max_latency: Time,
+    /// Latency distribution.
+    pub histogram: LatencyHistogram,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+}
+
+impl SimStats {
+    /// Creates an empty record for a device/workload pair.
+    pub fn new(device: impl Into<String>, workload: impl Into<String>) -> Self {
+        SimStats {
+            device: device.into(),
+            workload: workload.into(),
+            completed: 0,
+            reads: 0,
+            writes: 0,
+            bytes: ByteCount::ZERO,
+            makespan: Time::ZERO,
+            total_latency: Time::ZERO,
+            max_latency: Time::ZERO,
+            histogram: LatencyHistogram::new(),
+            energy: EnergyBreakdown::default(),
+        }
+    }
+
+    /// Folds one completed request into the record.
+    pub fn record(&mut self, done: &CompletedRequest) {
+        self.completed += 1;
+        if done.request.op.is_read() {
+            self.reads += 1;
+        } else {
+            self.writes += 1;
+        }
+        self.bytes += done.request.size;
+        let lat = done.latency();
+        self.total_latency += lat;
+        self.max_latency = self.max_latency.max(lat);
+        self.histogram.record(lat);
+        self.makespan = self.makespan.max(done.finished);
+    }
+
+    /// Adds background energy for a given power over the makespan. Call
+    /// once, after all requests are recorded.
+    pub fn finalize_background(&mut self, background: Power) {
+        self.energy.background = background * self.makespan;
+    }
+
+    /// Average request latency.
+    pub fn avg_latency(&self) -> Time {
+        if self.completed == 0 {
+            Time::ZERO
+        } else {
+            self.total_latency / self.completed as f64
+        }
+    }
+
+    /// Observed bandwidth: bytes over makespan.
+    pub fn bandwidth(&self) -> DataRate {
+        if self.makespan.is_zero() {
+            DataRate::ZERO
+        } else {
+            DataRate::from_transfer(self.bytes, self.makespan)
+        }
+    }
+
+    /// Energy per bit transferred.
+    pub fn energy_per_bit(&self) -> EnergyPerBit {
+        let bits = self.bytes.to_bits();
+        if bits == BitCount::ZERO {
+            EnergyPerBit::ZERO
+        } else {
+            self.energy.total() / bits
+        }
+    }
+
+    /// The paper's Fig. 9(c) efficiency metric: bandwidth (GB/s) divided by
+    /// EPB (pJ/b).
+    pub fn bandwidth_per_epb(&self) -> f64 {
+        let epb = self.energy_per_bit().as_picojoules_per_bit();
+        if epb == 0.0 {
+            0.0
+        } else {
+            self.bandwidth().as_gigabytes_per_second() / epb
+        }
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}: {} reqs, BW {:.3} GB/s, avg lat {:.1} ns, EPB {:.2} pJ/b",
+            self.device,
+            self.workload,
+            self.completed,
+            self.bandwidth().as_gigabytes_per_second(),
+            self.avg_latency().as_nanos(),
+            self.energy_per_bit().as_picojoules_per_bit()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{MemOp, MemRequest};
+
+    fn done(id: u64, arrival_ns: f64, finish_ns: f64, op: MemOp) -> CompletedRequest {
+        CompletedRequest {
+            request: MemRequest::new(
+                id,
+                Time::from_nanos(arrival_ns),
+                op,
+                id * 64,
+                ByteCount::new(64),
+            ),
+            issued: Time::from_nanos(arrival_ns),
+            finished: Time::from_nanos(finish_ns),
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut s = SimStats::new("dev", "wl");
+        s.record(&done(0, 0.0, 100.0, MemOp::Read));
+        s.record(&done(1, 50.0, 250.0, MemOp::Write));
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.bytes.value(), 128);
+        assert!((s.makespan.as_nanos() - 250.0).abs() < 1e-9);
+        assert!((s.avg_latency().as_nanos() - 150.0).abs() < 1e-9);
+        assert!((s.max_latency.as_nanos() - 200.0).abs() < 1e-9);
+        // 128 B / 250 ns = 0.512 GB/s.
+        assert!((s.bandwidth().as_gigabytes_per_second() - 0.512).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_per_bit_accounting() {
+        let mut s = SimStats::new("dev", "wl");
+        s.record(&done(0, 0.0, 100.0, MemOp::Read));
+        s.energy.access = Energy::from_picojoules(512.0);
+        s.finalize_background(Power::from_milliwatts(0.0));
+        // 512 pJ over 512 bits = 1 pJ/b.
+        assert!((s.energy_per_bit().as_picojoules_per_bit() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn background_energy_uses_makespan() {
+        let mut s = SimStats::new("dev", "wl");
+        s.record(&done(0, 0.0, 1000.0, MemOp::Read));
+        s.finalize_background(Power::from_watts(1.0));
+        // 1 W * 1 us = 1 uJ.
+        assert!((s.energy.background.as_joules() - 1e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let mut h = LatencyHistogram::new();
+        for ns in [5.0, 20.0, 50.0, 200.0, 200.0, 5000.0] {
+            h.record(Time::from_nanos(ns));
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.counts()[0], 1); // <10
+        assert_eq!(h.counts()[1], 1); // <31.6
+        assert_eq!(h.counts()[2], 1); // <100
+        assert_eq!(h.counts()[3], 2); // <316
+        assert_eq!(h.counts()[6], 1); // <10k
+        assert!(h.percentile(50.0).as_nanos() <= 316.0);
+        assert!(h.percentile(99.0).as_nanos() >= 1000.0);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = SimStats::new("d", "w");
+        assert_eq!(s.avg_latency(), Time::ZERO);
+        assert_eq!(s.bandwidth(), DataRate::ZERO);
+        assert_eq!(s.energy_per_bit(), EnergyPerBit::ZERO);
+        assert_eq!(s.bandwidth_per_epb(), 0.0);
+    }
+}

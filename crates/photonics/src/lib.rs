@@ -1,0 +1,59 @@
+//! Silicon-photonic circuit substrate for the COMET reproduction.
+//!
+//! Models the circuit layer between the device physics (`opcm-phys`) and
+//! the memory architecture (`comet` / `cosmos`):
+//!
+//! * [`OpticalParams`] — the paper's Table I loss/power constants;
+//! * [`PathElement`] / [`OpticalPath`] — composable loss budgets for laser
+//!   power sizing and SOA placement;
+//! * [`Microring`] — ring spectral response, FSR/finesse, channel limits;
+//! * [`MrTuning`] — the thermal-vs-electro-optic access trade-off;
+//! * [`WdmMdmLink`] — wavelength × mode multiplexed bandwidth and the
+//!   MDM-degree practicality bound;
+//! * [`Laser`] — wall-plug laser power from loss budgets;
+//! * [`CrossbarCrosstalk`] — the COSMOS write-disturb failure model;
+//! * [`LevelBudget`] / [`Photodetector`] — read-out loss tolerance per bit
+//!   density and SNR/BER.
+//!
+//! # Quick start
+//!
+//! ```
+//! use comet_units::Power;
+//! use photonic::{Laser, MrTuning, OpticalParams, OpticalPath, PathElement};
+//!
+//! let params = OpticalParams::table_i();
+//! // Access path: coupler, 46 through-rows, the cell-gating MR drop.
+//! let mut path = OpticalPath::new();
+//! path.push(PathElement::Coupler)
+//!     .push_repeated(PathElement::TunedMrThrough(MrTuning::ElectroOptic), 46)
+//!     .push(PathElement::TunedMrDrop(MrTuning::ElectroOptic));
+//! // 46 rows of EO-MR through-loss ≈ one intra-subarray SOA stage of gain:
+//! assert!(path.total_loss(&params).value() > 15.0);
+//! let laser = Laser::table_i();
+//! let wall_plug = laser.electrical_power_for_path(
+//!     Power::from_milliwatts(1.0), &path, &params);
+//! assert!(wall_plug.as_milliwatts() > 100.0); // why SOAs are mandatory
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod crosstalk;
+mod elements;
+mod laser;
+mod link;
+mod mitigation;
+mod mr;
+mod params;
+mod path;
+mod readout;
+
+pub use crosstalk::{CrossbarCrosstalk, IsolatedCell};
+pub use elements::{MrTuning, PathElement};
+pub use laser::Laser;
+pub use link::{ModePenalty, WdmMdmLink};
+pub use mitigation::{FilterOrder, WdmCrosstalkAnalysis};
+pub use mr::Microring;
+pub use params::OpticalParams;
+pub use path::OpticalPath;
+pub use readout::{erfc, LevelBudget, Photodetector};

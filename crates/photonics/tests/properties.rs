@@ -1,0 +1,275 @@
+//! Property-based tests for the photonic circuit substrate.
+//!
+//! Invariants: loss budgets compose additively in dB (multiplicatively in
+//! linear power), microring responses are bounded transfer functions, SNR
+//! is monotone in received power, and laser sizing inverts the loss budget.
+
+use comet_units::{Decibels, Length, Power};
+use photonic::{
+    FilterOrder, Laser, LevelBudget, Microring, ModePenalty, MrTuning, OpticalParams,
+    OpticalPath, PathElement, Photodetector, WdmCrosstalkAnalysis, WdmMdmLink,
+};
+use proptest::prelude::*;
+
+fn params() -> OpticalParams {
+    OpticalParams::table_i()
+}
+
+/// Strategy over representative path elements (losses and gains).
+fn any_element() -> impl Strategy<Value = PathElement> {
+    prop_oneof![
+        Just(PathElement::Coupler),
+        Just(PathElement::GstSwitch),
+        Just(PathElement::MrDrop),
+        Just(PathElement::MrThrough),
+        Just(PathElement::TunedMrDrop(MrTuning::ElectroOptic)),
+        Just(PathElement::TunedMrThrough(MrTuning::ElectroOptic)),
+        (0.1..20.0f64).prop_map(|mm| PathElement::Propagation(Length::from_millimeters(mm))),
+        (1u32..8).prop_map(PathElement::Bends),
+        (0.1..3.0f64).prop_map(|db| PathElement::Fixed(Decibels::new(db))),
+        (1.0..20.0f64).prop_map(|db| PathElement::Soa {
+            gain: Decibels::new(db)
+        }),
+        (2u32..16).prop_map(|ways| PathElement::Splitter { ways }),
+    ]
+}
+
+proptest! {
+    // --- path composition ----------------------------------------------------
+
+    #[test]
+    fn path_loss_is_sum_of_element_losses(elements in prop::collection::vec(any_element(), 0..20)) {
+        let p = params();
+        let mut path = OpticalPath::new();
+        let mut expect = Decibels::ZERO;
+        for e in &elements {
+            path.push(*e);
+            expect += e.net_loss(&p);
+        }
+        let total = path.total_loss(&p);
+        prop_assert!((total.value() - expect.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_concatenation_adds(a in prop::collection::vec(any_element(), 0..10),
+                               b in prop::collection::vec(any_element(), 0..10)) {
+        let p = params();
+        let mut pa = OpticalPath::new();
+        for e in &a { pa.push(*e); }
+        let mut pb = OpticalPath::new();
+        for e in &b { pb.push(*e); }
+        let mut joined = OpticalPath::new();
+        joined.extend_from(&pa).extend_from(&pb);
+        prop_assert!(
+            (joined.total_loss(&p).value() - (pa.total_loss(&p) + pb.total_loss(&p)).value()).abs()
+                < 1e-9
+        );
+        prop_assert_eq!(joined.len(), pa.len() + pb.len());
+    }
+
+    #[test]
+    fn output_power_matches_loss(mw in 0.1..100.0f64,
+                                 elements in prop::collection::vec(any_element(), 0..15)) {
+        let p = params();
+        let mut path = OpticalPath::new();
+        for e in &elements { path.push(*e); }
+        let input = Power::from_milliwatts(mw);
+        let out = path.output_power(input, &p);
+        let expect = input.attenuate(path.total_loss(&p));
+        prop_assert!((out.as_milliwatts() - expect.as_milliwatts()).abs() < 1e-9 * mw);
+    }
+
+    #[test]
+    fn required_input_inverts_output(target_mw in 0.01..10.0f64,
+                                     elements in prop::collection::vec(any_element(), 0..15)) {
+        let p = params();
+        let mut path = OpticalPath::new();
+        for e in &elements { path.push(*e); }
+        let target = Power::from_milliwatts(target_mw);
+        let input = path.required_input(target, &p);
+        let out = path.output_power(input, &p);
+        prop_assert!((out.as_milliwatts() - target_mw).abs() < 1e-9 * target_mw);
+    }
+
+    #[test]
+    fn level_profile_ends_at_total_loss(elements in prop::collection::vec(any_element(), 1..15)) {
+        let p = params();
+        let mut path = OpticalPath::new();
+        for e in &elements { path.push(*e); }
+        let profile = path.level_profile(&p);
+        prop_assert_eq!(profile.len(), path.len());
+        // Levels are reported relative to the input (negative = below it),
+        // so the last entry is minus the net path loss.
+        let last = profile.last().copied().unwrap();
+        prop_assert!((last.value() + path.total_loss(&p).value()).abs() < 1e-9);
+        // The worst level is the deepest point anywhere along the path, so
+        // it can only be at or below the final level.
+        prop_assert!(path.worst_level(&p).value() <= last.value() + 1e-9);
+        prop_assert!(path.worst_level(&p).value() <= 1e-9);
+    }
+
+    // --- microring response -----------------------------------------------------
+
+    #[test]
+    fn mr_transfer_functions_are_bounded(detune_pm in -2000.0..2000.0f64) {
+        let mr = Microring::comet_default();
+        let delta = Length::from_nanometers(detune_pm / 1000.0);
+        let d = mr.drop_fraction(delta);
+        let t = mr.through_fraction(delta);
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert!((0.0..=1.0).contains(&t));
+        // Power conservation up to insertion loss: drop + through <= 1.
+        prop_assert!(d + t <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn mr_drop_peaks_on_resonance(detune_pm in 1.0..2000.0f64) {
+        let mr = Microring::comet_default();
+        let on = mr.drop_fraction(Length::ZERO);
+        let off = mr.drop_fraction(Length::from_nanometers(detune_pm / 1000.0));
+        prop_assert!(on >= off - 1e-12, "drop should peak at resonance");
+    }
+
+    #[test]
+    fn mr_crosstalk_falls_with_channel_spacing(s1 in 0.1..5.0f64, s2 in 0.1..5.0f64) {
+        let mr = Microring::comet_default();
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        let xt_near = mr.adjacent_channel_crosstalk(Length::from_nanometers(lo));
+        let xt_far = mr.adjacent_channel_crosstalk(Length::from_nanometers(hi));
+        // Crosstalk is reported as positive suppression (dB below the
+        // intended signal): wider spacing suppresses more.
+        prop_assert!(xt_far.value() >= xt_near.value() - 1e-9);
+    }
+
+    // --- links -----------------------------------------------------------------
+
+    #[test]
+    fn link_bandwidth_scales_with_channels(w in 1usize..512, m in 1usize..4) {
+        let link = WdmMdmLink::new(w, m, comet_units::Frequency::from_gigahertz(1.0));
+        prop_assert_eq!(link.parallel_channels(), w * m);
+        let per_channel = link.raw_bandwidth().as_gigabytes_per_second() / (w * m) as f64;
+        // 1 GHz x 1 bit/channel = 0.125 GB/s per channel.
+        prop_assert!((per_channel - 0.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_modes_lose_more(degree in 2usize..8) {
+        let mp = ModePenalty::default();
+        for m in 1..degree {
+            prop_assert!(mp.loss_for_mode(m).value() >= mp.loss_for_mode(m - 1).value() - 1e-12);
+        }
+        prop_assert!(
+            (mp.worst_mode_loss(degree).value() - mp.loss_for_mode(degree - 1).value()).abs()
+                < 1e-12
+        );
+    }
+
+    // --- laser sizing -------------------------------------------------------------
+
+    #[test]
+    fn laser_power_scales_linearly_with_channels(
+        target_mw in 0.1..5.0f64,
+        loss_db in 0.0..30.0f64,
+        n in 1usize..1024,
+    ) {
+        let laser = Laser::table_i();
+        let target = Power::from_milliwatts(target_mw);
+        let loss = Decibels::new(loss_db);
+        let one = laser.electrical_power_for_target(target, loss);
+        let many = laser.electrical_power_for_channels(target, loss, n);
+        prop_assert!((many.as_watts() - one.as_watts() * n as f64).abs() < 1e-9 * many.as_watts().max(1.0));
+    }
+
+    #[test]
+    fn laser_wall_plug_efficiency_divides(target_mw in 0.1..5.0f64, loss_db in 0.0..30.0f64) {
+        let target = Power::from_milliwatts(target_mw);
+        let loss = Decibels::new(loss_db);
+        let launch = Laser::table_i().launch_power_for_target(target, loss);
+        let electrical = Laser::table_i().electrical_power_for_target(target, loss);
+        // 20 % wall-plug: electrical = launch / 0.2.
+        prop_assert!((electrical.as_watts() - launch.as_watts() / 0.2).abs() < 1e-12);
+        // Launch covers the loss exactly.
+        prop_assert!((launch.attenuate(loss).as_milliwatts() - target_mw).abs() < 1e-9);
+    }
+
+    // --- readout noise ---------------------------------------------------------------
+
+    #[test]
+    fn snr_is_monotone_in_power(p1 in 1e-7..1e-2f64, p2 in 1e-7..1e-2f64) {
+        let pd = Photodetector::ge_10ghz();
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(pd.snr(Power::from_watts(hi)) >= pd.snr(Power::from_watts(lo)) - 1e-12);
+    }
+
+    #[test]
+    fn more_bits_need_more_power(bits in 1u8..5) {
+        let pd = Photodetector::ge_10ghz();
+        let p_lo = pd.min_power_for_error(bits, 1e-9);
+        let p_hi = pd.min_power_for_error(bits + 1, 1e-9);
+        prop_assert!(p_hi >= p_lo, "b={bits}: {p_hi:?} < {p_lo:?}");
+        // And the error at that power is within target.
+        prop_assert!(pd.level_error_probability(p_hi, bits + 1) <= 1e-9 * 1.01);
+    }
+
+    #[test]
+    fn level_error_probability_is_a_probability(
+        uw in 0.01..1e4f64,
+        bits in 1u8..6,
+    ) {
+        let pd = Photodetector::ge_10ghz();
+        let pe = pd.level_error_probability(Power::from_microwatts(uw), bits);
+        prop_assert!((0.0..=1.0).contains(&pe), "Pe = {pe}");
+    }
+
+    // --- level budgets ------------------------------------------------------------------
+
+    // --- WDM crosstalk mitigation ----------------------------------------------
+
+    #[test]
+    fn double_ring_never_picks_up_more(channels in 2usize..512) {
+        let ring = Microring::interface_demux();
+        let single = WdmCrosstalkAnalysis::new(ring, channels, FilterOrder::Single);
+        let double = WdmCrosstalkAnalysis::new(ring, channels, FilterOrder::Double);
+        prop_assert!(double.total_crosstalk() <= single.total_crosstalk() + 1e-15);
+        // Per-neighbour pickup stays a power fraction.
+        for k in 1..4usize {
+            let p = single.neighbour_pickup(k);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(double.neighbour_pickup(k) <= p + 1e-15);
+        }
+    }
+
+    #[test]
+    fn crosstalk_monotone_in_channel_count(n1 in 2usize..512, n2 in 2usize..512) {
+        let ring = Microring::comet_default();
+        let (lo, hi) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
+        let a = WdmCrosstalkAnalysis::new(ring, lo, FilterOrder::Single).total_crosstalk();
+        let b = WdmCrosstalkAnalysis::new(ring, hi, FilterOrder::Single).total_crosstalk();
+        prop_assert!(b >= a - 1e-12, "{lo} ch: {a}, {hi} ch: {b}");
+    }
+
+    #[test]
+    fn max_channels_is_the_budget_boundary(bits in 2u8..6) {
+        let ring = Microring::interface_demux();
+        let budget = LevelBudget::for_bits(bits);
+        let max = WdmCrosstalkAnalysis::max_channels_within(ring, FilterOrder::Double, &budget);
+        prop_assume!(max >= 2 && max < 4096);
+        prop_assert!(
+            WdmCrosstalkAnalysis::new(ring, max, FilterOrder::Double).within_budget(&budget)
+        );
+        prop_assert!(
+            !WdmCrosstalkAnalysis::new(ring, max + 1, FilterOrder::Double)
+                .within_budget(&budget)
+        );
+    }
+
+    #[test]
+    fn level_budget_shrinks_with_bits(bits in 1u8..5) {
+        let lo = LevelBudget::for_bits(bits);
+        let hi = LevelBudget::for_bits(bits + 1);
+        prop_assert!(hi.loss_tolerance.value() <= lo.loss_tolerance.value());
+        // More tolerance = more elements traversable at fixed per-element loss.
+        let per = Decibels::new(0.33);
+        prop_assert!(hi.elements_within_budget(per) <= lo.elements_within_budget(per));
+    }
+}

@@ -1,0 +1,263 @@
+//! Property-based tests for the PCM physics layer.
+//!
+//! These pin down the *invariants* the architecture layers rely on: optical
+//! quantities stay in physical ranges over the whole parameter space,
+//! mixing interpolates monotonically between the pure phases, and the
+//! thermal programming model conserves energy and keeps state variables
+//! bounded for arbitrary pulses.
+
+use comet_units::{Length, Power, Time};
+use opcm_phys::{
+    c_band_end, c_band_start, effective_index, lorentz_lorenz_mix, CellGeometry,
+    CellOpticalModel, CellState, CellThermalModel, PcmKind, Phase, PulseSpec,
+};
+use proptest::prelude::*;
+
+/// A wavelength strategy spanning the optical C-band.
+fn c_band() -> impl Strategy<Value = Length> {
+    (c_band_start().as_nanometers()..c_band_end().as_nanometers()).prop_map(Length::from_nanometers)
+}
+
+fn any_material() -> impl Strategy<Value = PcmKind> {
+    prop_oneof![
+        Just(PcmKind::Gst),
+        Just(PcmKind::Gsst),
+        Just(PcmKind::Sb2Se3),
+    ]
+}
+
+proptest! {
+    // --- Lorentz optical model --------------------------------------------
+
+    #[test]
+    fn refractive_index_is_physical(kind in any_material(), lambda in c_band()) {
+        let m = kind.material();
+        for phase in [Phase::Amorphous, Phase::Crystalline] {
+            let idx = m.refractive_index(phase, lambda);
+            prop_assert!(idx.n > 1.0, "{kind:?} {phase:?}: n = {}", idx.n);
+            prop_assert!(idx.n < 12.0, "{kind:?} {phase:?}: n = {}", idx.n);
+            prop_assert!(idx.kappa >= 0.0, "{kind:?} {phase:?}: kappa = {}", idx.kappa);
+            prop_assert!(idx.kappa < 5.0, "{kind:?} {phase:?}: kappa = {}", idx.kappa);
+        }
+    }
+
+    #[test]
+    fn crystalline_denser_than_amorphous(kind in any_material(), lambda in c_band()) {
+        // Crystallization raises both n and kappa for all three candidates
+        // in the C-band — the property every OPCM readout depends on.
+        let m = kind.material();
+        let a = m.refractive_index(Phase::Amorphous, lambda);
+        let c = m.refractive_index(Phase::Crystalline, lambda);
+        prop_assert!(c.n > a.n);
+        prop_assert!(c.kappa >= a.kappa);
+        prop_assert!(m.index_contrast(lambda) > 0.0);
+    }
+
+    #[test]
+    fn index_permittivity_roundtrip(kind in any_material(), lambda in c_band()) {
+        let m = kind.material();
+        let idx = m.refractive_index(Phase::Crystalline, lambda);
+        let back = opcm_phys::ComplexIndex::from_permittivity(idx.to_permittivity());
+        prop_assert!((back.n - idx.n).abs() < 1e-9);
+        prop_assert!((back.kappa - idx.kappa).abs() < 1e-9);
+    }
+
+    // --- effective-medium mixing -------------------------------------------
+
+    #[test]
+    fn mixing_endpoints_are_pure_phases(kind in any_material(), lambda in c_band()) {
+        let m = kind.material();
+        let a = m.refractive_index(Phase::Amorphous, lambda);
+        let c = m.refractive_index(Phase::Crystalline, lambda);
+        let at0 = effective_index(&m, 0.0, lambda);
+        let at1 = effective_index(&m, 1.0, lambda);
+        prop_assert!((at0.n - a.n).abs() < 1e-6 && (at0.kappa - a.kappa).abs() < 1e-6);
+        prop_assert!((at1.n - c.n).abs() < 1e-6 && (at1.kappa - c.kappa).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mixing_is_monotone_in_fraction(
+        kind in any_material(),
+        lambda in c_band(),
+        p1 in 0.0..1.0f64,
+        p2 in 0.0..1.0f64,
+    ) {
+        let m = kind.material();
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let a = effective_index(&m, lo, lambda);
+        let b = effective_index(&m, hi, lambda);
+        prop_assert!(b.n >= a.n - 1e-9, "n not monotone: p={lo}->{hi}");
+        prop_assert!(b.kappa >= a.kappa - 1e-9, "kappa not monotone: p={lo}->{hi}");
+    }
+
+    #[test]
+    fn mixing_stays_between_phases(lambda in c_band(), p in 0.0..1.0f64) {
+        let m = PcmKind::Gst.material();
+        let a = m.refractive_index(Phase::Amorphous, lambda);
+        let c = m.refractive_index(Phase::Crystalline, lambda);
+        let mix = lorentz_lorenz_mix(a.to_permittivity(), c.to_permittivity(), p);
+        let idx = opcm_phys::ComplexIndex::from_permittivity(mix);
+        prop_assert!(idx.n >= a.n - 1e-9 && idx.n <= c.n + 1e-9);
+        prop_assert!(idx.kappa >= a.kappa - 1e-9 && idx.kappa <= c.kappa + 1e-9);
+    }
+
+    // --- cell optics ---------------------------------------------------------
+
+    #[test]
+    fn transmittance_and_absorptance_partition_unity(
+        p in 0.0..1.0f64,
+        lambda in c_band(),
+    ) {
+        let cell = CellOpticalModel::comet_gst();
+        let t = cell.transmittance(p, lambda).value();
+        let a = cell.absorptance(p, lambda);
+        prop_assert!((0.0..=1.0).contains(&t), "T = {t}");
+        prop_assert!((0.0..=1.0).contains(&a), "A = {a}");
+        // T + A <= 1 (the rest is reflected at the index-mismatch interface).
+        prop_assert!(t + a <= 1.0 + 1e-9, "T + A = {}", t + a);
+    }
+
+    #[test]
+    fn transmittance_decreases_with_crystallinity(
+        p1 in 0.0..1.0f64,
+        p2 in 0.0..1.0f64,
+        lambda in c_band(),
+    ) {
+        let cell = CellOpticalModel::comet_gst();
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(
+            cell.transmittance(hi, lambda).value() <= cell.transmittance(lo, lambda).value() + 1e-9
+        );
+        prop_assert!(cell.absorptance(hi, lambda) >= cell.absorptance(lo, lambda) - 1e-9);
+    }
+
+    #[test]
+    fn fraction_for_transmittance_inverts(target_p in 0.01..0.99f64) {
+        // The level-table generator depends on this inverse being accurate.
+        let cell = CellOpticalModel::comet_gst();
+        let lambda = opcm_phys::reference_wavelength();
+        let t = cell.transmittance(target_p, lambda);
+        if let Some(p) = cell.fraction_for_transmittance(t, lambda) {
+            let t_back = cell.transmittance(p, lambda);
+            prop_assert!(
+                (t_back.value() - t.value()).abs() < 1e-6,
+                "T({p}) = {} != {}",
+                t_back.value(),
+                t.value()
+            );
+        } else {
+            prop_assert!(false, "no fraction for in-range transmittance {t}");
+        }
+    }
+
+    #[test]
+    fn thicker_cells_absorb_more(
+        t1 in 5.0..50.0f64,
+        t2 in 5.0..50.0f64,
+        p in 0.2..1.0f64,
+    ) {
+        let lambda = opcm_phys::reference_wavelength();
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let mk = |nm| {
+            CellOpticalModel::new(
+                PcmKind::Gst.material(),
+                CellGeometry::comet_default().with_thickness(Length::from_nanometers(nm)),
+            )
+        };
+        prop_assert!(mk(hi).absorptance(p, lambda) >= mk(lo).absorptance(p, lambda) - 1e-9);
+    }
+
+    // --- thermal programming --------------------------------------------------
+
+    #[test]
+    fn pulse_outcome_state_is_bounded(
+        start in 0.0..1.0f64,
+        mw in 0.05..6.0f64,
+        ns in 1.0..400.0f64,
+    ) {
+        let model = CellThermalModel::comet_gst();
+        let pulse = PulseSpec::new(Power::from_milliwatts(mw), Time::from_nanos(ns));
+        let out = model.apply_pulse(CellState::at_fraction(start), pulse);
+        let p = out.state.crystalline_fraction;
+        prop_assert!((0.0..=1.0).contains(&p), "fraction {p}");
+        prop_assert!((0.0..=1.0).contains(&out.peak_melt_fraction));
+        // Energy conservation: can't absorb more than the pulse delivered.
+        prop_assert!(out.absorbed_energy.as_joules() <= pulse.energy().as_joules() + 1e-18);
+        prop_assert!(out.absorbed_energy.as_joules() >= 0.0);
+        // Peak temperature is at least ambient.
+        prop_assert!(out.peak_temperature.as_kelvin() >= 293.0);
+    }
+
+    #[test]
+    fn melting_implies_melting_point_reached(
+        start in 0.0..1.0f64,
+        mw in 0.05..6.0f64,
+        ns in 1.0..400.0f64,
+    ) {
+        let model = CellThermalModel::comet_gst();
+        let out = model.apply_pulse(
+            CellState::at_fraction(start),
+            PulseSpec::new(Power::from_milliwatts(mw), Time::from_nanos(ns)),
+        );
+        let t_melt = model.optics().material.thermal.melting_point.as_kelvin();
+        if out.melted {
+            prop_assert!(out.peak_temperature.as_kelvin() >= t_melt - 1e-6);
+        } else {
+            // No melting => fraction can only have grown (crystallization).
+            prop_assert!(out.state.crystalline_fraction >= start - 1e-9);
+        }
+    }
+
+    #[test]
+    fn sub_threshold_reads_never_disturb(
+        start in 0.0..1.0f64,
+        uw in 10.0..200.0f64,
+        ns in 1.0..50.0f64,
+    ) {
+        // Below the write-assist threshold and far below melt energy, the
+        // state must be rock solid: this is COMET's read-isolation premise.
+        let model = CellThermalModel::comet_gst();
+        let out = model.apply_pulse(
+            CellState::at_fraction(start),
+            PulseSpec::new(Power::from_microwatts(uw), Time::from_nanos(ns)),
+        );
+        prop_assert!(!out.melted);
+        prop_assert!(
+            (out.state.crystalline_fraction - start).abs() < 1e-2,
+            "read moved state {start} -> {}",
+            out.state.crystalline_fraction
+        );
+    }
+
+    #[test]
+    fn longer_crystallization_pulses_reach_higher_fractions(
+        d1 in 20.0..400.0f64,
+        d2 in 20.0..400.0f64,
+    ) {
+        let model = CellThermalModel::comet_gst();
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let run = |ns| {
+            model
+                .apply_pulse(
+                    CellState::amorphous(),
+                    PulseSpec::new(Power::from_milliwatts(1.0), Time::from_nanos(ns)),
+                )
+                .state
+                .crystalline_fraction
+        };
+        prop_assert!(run(hi) >= run(lo) - 1e-9);
+    }
+}
+
+#[test]
+fn gst_has_the_best_contrast_of_the_three() {
+    // Deterministic cross-material check at the reference wavelength: the
+    // paper's Section III.A selection argument.
+    let lambda = opcm_phys::reference_wavelength();
+    let gst = PcmKind::Gst.material();
+    for other in [PcmKind::Gsst, PcmKind::Sb2Se3] {
+        let m = other.material();
+        assert!(gst.index_contrast(lambda) > m.index_contrast(lambda));
+        assert!(gst.extinction_contrast(lambda) > m.extinction_contrast(lambda));
+    }
+}

@@ -1,0 +1,96 @@
+//! Typed physical quantities for the COMET photonic memory simulator.
+//!
+//! Every crate in this workspace moves numbers between three domains —
+//! optics (dB, dBm, nm), electronics (W, J, s) and architecture
+//! (bits, bytes, GB/s) — and the single most common class of modeling bug is
+//! silently mixing them (a loss in dB added to a power in mW, a latency in
+//! cycles compared to one in nanoseconds). This crate provides thin newtypes
+//! over `f64` so those mistakes become type errors, following the
+//! [C-NEWTYPE] guideline.
+//!
+//! All types are `Copy`, implement the common comparison/formatting traits,
+//! and expose explicit constructors/getters naming the unit
+//! (`Power::from_milliwatts`, `Time::as_nanos`). Arithmetic is implemented
+//! only where it is physically meaningful: you can add two [`Decibels`]
+//! (cascaded losses), multiply a [`Power`] by a [`Time`] to get an
+//! [`Energy`], or divide an [`Energy`] by a bit count to get energy-per-bit,
+//! but you cannot add a `Power` to a `Time`.
+//!
+//! # Examples
+//!
+//! ```
+//! use comet_units::{Decibels, Power, Time};
+//!
+//! // A 1 mW signal attenuated by two cascaded 3 dB losses:
+//! let input = Power::from_milliwatts(1.0);
+//! let loss = Decibels::new(3.0) + Decibels::new(3.0);
+//! let output = input.attenuate(loss);
+//! assert!((output.as_milliwatts() - 0.251).abs() < 0.01);
+//!
+//! // Energy delivered by a 5 mW pulse over 150 ns:
+//! let pulse = Power::from_milliwatts(5.0) * Time::from_nanos(150.0);
+//! assert!((pulse.as_picojoules() - 750.0).abs() < 1e-9);
+//! ```
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod energy;
+mod frequency;
+mod length;
+mod optical;
+mod power;
+mod rate;
+mod temperature;
+mod time;
+
+pub use energy::Energy;
+pub use frequency::Frequency;
+pub use length::Length;
+pub use optical::{Decibels, DecibelMilliwatts, Transmittance};
+pub use power::Power;
+pub use rate::{BitCount, ByteCount, DataRate, EnergyPerBit};
+pub use temperature::{Temperature, TemperatureDelta};
+pub use time::Time;
+
+/// Speed of light in vacuum, metres per second.
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_type_energy_composition() {
+        let e = Power::from_milliwatts(5.0) * Time::from_nanos(150.0);
+        assert!((e.as_picojoules() - 750.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wavelength_frequency_roundtrip() {
+        let lambda = Length::from_nanometers(1550.0);
+        let f = Frequency::from_wavelength(lambda);
+        let back = f.wavelength();
+        assert!((back.as_nanometers() - 1550.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn epb_from_energy_and_bits() {
+        let epb = Energy::from_picojoules(400.0) / BitCount::new(100);
+        assert!((epb.as_picojoules_per_bit() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn send_sync_impls() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Decibels>();
+        assert_send_sync::<Power>();
+        assert_send_sync::<Energy>();
+        assert_send_sync::<Time>();
+        assert_send_sync::<Length>();
+        assert_send_sync::<Temperature>();
+        assert_send_sync::<DataRate>();
+    }
+}

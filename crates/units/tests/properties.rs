@@ -1,0 +1,191 @@
+//! Property-based tests for the unit types.
+//!
+//! The units crate is the vocabulary of every other crate, so its algebra
+//! must be watertight: conversions roundtrip, dB math matches linear math,
+//! and ordering behaves like the underlying scalars.
+
+use comet_units::{
+    ByteCount, DataRate, DecibelMilliwatts, Decibels, Energy, Frequency, Length, Power,
+    Temperature, Time, Transmittance, SPEED_OF_LIGHT,
+};
+use proptest::prelude::*;
+
+/// Relative-tolerance comparison for quantities spanning many decades.
+fn close(a: f64, b: f64, rel: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1e-30);
+    (a - b).abs() <= rel * scale
+}
+
+proptest! {
+    // --- conversion roundtrips ------------------------------------------
+
+    #[test]
+    fn time_unit_roundtrips(ns in 1e-3..1e12f64) {
+        let t = Time::from_nanos(ns);
+        prop_assert!(close(t.as_nanos(), ns, 1e-12));
+        prop_assert!(close(Time::from_seconds(t.as_seconds()).as_nanos(), ns, 1e-12));
+        prop_assert!(close(Time::from_micros(t.as_micros()).as_nanos(), ns, 1e-12));
+    }
+
+    #[test]
+    fn energy_unit_roundtrips(pj in 1e-6..1e15f64) {
+        let e = Energy::from_picojoules(pj);
+        prop_assert!(close(e.as_picojoules(), pj, 1e-12));
+        prop_assert!(close(Energy::from_nanojoules(e.as_nanojoules()).as_picojoules(), pj, 1e-12));
+        prop_assert!(close(Energy::from_joules(e.as_joules()).as_picojoules(), pj, 1e-12));
+    }
+
+    #[test]
+    fn power_unit_roundtrips(mw in 1e-9..1e9f64) {
+        let p = Power::from_milliwatts(mw);
+        prop_assert!(close(p.as_milliwatts(), mw, 1e-12));
+        prop_assert!(close(Power::from_microwatts(p.as_microwatts()).as_milliwatts(), mw, 1e-12));
+    }
+
+    #[test]
+    fn length_unit_roundtrips(nm in 1e-3..1e12f64) {
+        let l = Length::from_nanometers(nm);
+        prop_assert!(close(l.as_nanometers(), nm, 1e-12));
+        prop_assert!(close(Length::from_micrometers(l.as_micrometers()).as_nanometers(), nm, 1e-12));
+        prop_assert!(close(Length::from_centimeters(l.as_centimeters()).as_nanometers(), nm, 1e-12));
+    }
+
+    // --- physical identities --------------------------------------------
+
+    #[test]
+    fn energy_is_power_times_time(mw in 1e-3..1e4f64, ns in 1e-3..1e6f64) {
+        let e = Power::from_milliwatts(mw) * Time::from_nanos(ns);
+        // mW x ns = pJ numerically.
+        prop_assert!(close(e.as_picojoules(), mw * ns, 1e-9));
+        // And dividing back recovers the power.
+        let p = e / Time::from_nanos(ns);
+        prop_assert!(close(p.as_milliwatts(), mw, 1e-9));
+    }
+
+    #[test]
+    fn frequency_wavelength_inverse(nm in 100.0..10_000.0f64) {
+        let lambda = Length::from_nanometers(nm);
+        let f = Frequency::from_wavelength(lambda);
+        prop_assert!(close(f.wavelength().as_nanometers(), nm, 1e-9));
+        prop_assert!(close(f.as_hertz() * lambda.as_meters(), SPEED_OF_LIGHT, 1e-9));
+    }
+
+    #[test]
+    fn frequency_period_inverse(ghz in 1e-3..1e3f64) {
+        let f = Frequency::from_gigahertz(ghz);
+        prop_assert!(close(f.period().as_seconds() * f.as_hertz(), 1.0, 1e-9));
+    }
+
+    // --- decibel algebra --------------------------------------------------
+
+    #[test]
+    fn decibel_linear_roundtrip(db in -60.0..60.0f64) {
+        let d = Decibels::new(db);
+        prop_assert!(close(Decibels::from_linear(d.to_linear()).value(), db, 1e-9));
+        // Loss linear x gain linear = 1 at the same magnitude.
+        prop_assert!(close(d.to_linear() * d.to_linear_gain(), 1.0, 1e-9));
+    }
+
+    #[test]
+    fn decibel_addition_is_linear_multiplication(a in 0.0..30.0f64, b in 0.0..30.0f64) {
+        let sum = Decibels::new(a) + Decibels::new(b);
+        prop_assert!(close(
+            sum.to_linear(),
+            Decibels::new(a).to_linear() * Decibels::new(b).to_linear(),
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn attenuate_then_amplify_is_identity(mw in 1e-6..1e3f64, db in 0.0..40.0f64) {
+        let p = Power::from_milliwatts(mw);
+        let loss = Decibels::new(db);
+        let back = p.attenuate(loss).amplify(loss);
+        prop_assert!(close(back.as_milliwatts(), mw, 1e-9));
+        // Attenuation by a positive dB never increases power.
+        prop_assert!(p.attenuate(loss) <= p);
+    }
+
+    #[test]
+    fn dbm_power_roundtrip(dbm in -60.0..30.0f64) {
+        let x = DecibelMilliwatts::new(dbm);
+        prop_assert!(close(x.to_power().to_dbm().value(), dbm, 1e-9));
+        // Attenuate in dBm == attenuate in watts.
+        let loss = Decibels::new(7.5);
+        prop_assert!(close(
+            x.attenuate(loss).to_power().as_milliwatts(),
+            x.to_power().attenuate(loss).as_milliwatts(),
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn power_ratio_matches_db_difference(a in 1e-3..1e3f64, b in 1e-3..1e3f64) {
+        // ratio_to reports the loss from the reference down to self:
+        // positive when self is below the reference.
+        let ratio = Power::from_milliwatts(a).ratio_to(Power::from_milliwatts(b));
+        prop_assert!(close(ratio.value(), 10.0 * (b / a).log10(), 1e-9));
+        // Attenuating the reference by that ratio recovers self.
+        let back = Power::from_milliwatts(b).attenuate(ratio);
+        prop_assert!(close(back.as_milliwatts(), a, 1e-9));
+    }
+
+    // --- transmittance -----------------------------------------------------
+
+    #[test]
+    fn transmittance_cascade_is_product(a in 0.0..1.0f64, b in 0.0..1.0f64) {
+        let t = Transmittance::new(a).cascade(Transmittance::new(b));
+        prop_assert!(close(t.value(), a * b, 1e-12));
+        // Cascading never brightens.
+        prop_assert!(t.value() <= a + 1e-15);
+        prop_assert!(t.value() <= b + 1e-15);
+    }
+
+    #[test]
+    fn transmittance_decibels_agree(a in 1e-6..1.0f64) {
+        let t = Transmittance::new(a);
+        // to_decibels reports a positive loss for sub-unity transmission.
+        prop_assert!(close(t.to_decibels().to_linear(), a, 1e-9));
+    }
+
+    #[test]
+    fn transmittance_clamps(x in -10.0..10.0f64) {
+        let t = Transmittance::new(x);
+        prop_assert!((0.0..=1.0).contains(&t.value()));
+    }
+
+    // --- counting and rates -------------------------------------------------
+
+    #[test]
+    fn byte_bit_roundtrip(bytes in 0u64..(1 << 50)) {
+        let b = ByteCount::new(bytes);
+        prop_assert_eq!(b.to_bits().value(), bytes * 8);
+    }
+
+    #[test]
+    fn data_rate_consistency(bytes in 1u64..(1 << 40), ns in 1.0..1e9f64) {
+        let rate = DataRate::from_transfer(ByteCount::new(bytes), Time::from_nanos(ns));
+        let expect_gbps = bytes as f64 / ns; // B/ns == GB/s
+        prop_assert!(close(rate.as_gigabytes_per_second(), expect_gbps, 1e-9));
+    }
+
+    // --- ordering ------------------------------------------------------------
+
+    #[test]
+    fn time_ordering_matches_scalar(a in 0.0..1e9f64, b in 0.0..1e9f64) {
+        let (ta, tb) = (Time::from_nanos(a), Time::from_nanos(b));
+        // max/min agree with scalar max/min up to conversion rounding.
+        prop_assert!(close(ta.max(tb).as_nanos(), a.max(b), 1e-12));
+        prop_assert!(close(ta.min(tb).as_nanos(), a.min(b), 1e-12));
+        // Ordering is consistent with the stored representation.
+        prop_assert_eq!(ta < tb, ta.as_seconds() < tb.as_seconds());
+        prop_assert_eq!(ta.max(tb) >= ta.min(tb), true);
+    }
+
+    #[test]
+    fn temperature_kelvin_celsius_offset(k in 0.0..3000.0f64) {
+        let t = Temperature::from_kelvin(k);
+        prop_assert!(close(t.as_celsius(), k - 273.15, 1e-9));
+        prop_assert!(close(Temperature::from_celsius(t.as_celsius()).as_kelvin(), k, 1e-9));
+    }
+}

@@ -1,0 +1,113 @@
+//! Provisioning: the questions an operator deploying COMET would ask,
+//! answered by the extension modules in one place.
+//!
+//! * How reliably does each row read? (`ReadoutReliability`)
+//! * How often must stored levels be scrubbed against drift? (`DriftModel`)
+//! * How long until hot rows wear out, and what does start-gap buy?
+//!   (`EnduranceModel` / `StartGapRemapper` / `WearTracker`)
+//! * Which laser policy fits the duty cycle? (`LaserPolicy` sweep)
+//! * Can the interface demux carry the wavelength comb? (`WdmCrosstalkAnalysis`)
+//!
+//! Run with: `cargo run --release -p comet --example provisioning`
+
+use comet::{
+    CometConfig, CometDevice, DriftModel, EnduranceModel, LaserPolicy, ReadoutReliability,
+    StartGapRemapper, WearTracker, WindowedPolicy,
+};
+use comet_units::{ByteCount, Time};
+use memsim::{run_simulation, MemOp, MemRequest, SimConfig};
+use photonic::{FilterOrder, LevelBudget, Microring, WdmCrosstalkAnalysis};
+
+fn main() {
+    let config = CometConfig::comet_4b();
+    println!("== COMET-4b provisioning report ==\n");
+
+    // --- Readout reliability.
+    let rel = ReadoutReliability::new(config.clone());
+    println!("readout:");
+    println!("  worst-row level error per read : {:.2e}", rel.worst_row_error());
+    println!("  mean-row  level error per read : {:.2e}", rel.mean_row_error());
+
+    // --- Retention and scrubbing.
+    let drift = DriftModel::default();
+    let scrub = drift.scrub_interval(config.bits_per_cell);
+    let lines = config.capacity().value() / config.cache_line.value();
+    println!("\nretention:");
+    println!("  drift scrub interval           : {:.1} days", scrub.as_seconds() / 86_400.0);
+    println!(
+        "  scrub read rate                : {:.1} lines/s over {} lines",
+        lines as f64 / scrub.as_seconds(),
+        lines
+    );
+
+    // --- Endurance under a hot-spot write workload.
+    let endurance = EnduranceModel::default();
+    let mut sg = StartGapRemapper::new(config.subarray_rows, 32);
+    let mut direct = WearTracker::new(config.subarray_rows);
+    let mut leveled = WearTracker::new(sg.physical_rows());
+    for i in 0..1_000_000u64 {
+        let row = if i % 10 != 0 { i % 4 } else { i % config.subarray_rows };
+        direct.record(row);
+        leveled.record(sg.write(row));
+    }
+    // Writes/s if this trace were sustained at 10 GB/s of write traffic.
+    let writes_per_s = 10e9 / config.cache_line.value() as f64;
+    let hot_share_direct = direct.max_wear() as f64 / direct.total_writes() as f64;
+    let hot_share_leveled = leveled.max_wear() as f64 / leveled.total_writes() as f64;
+    let life_direct = endurance.lifetime(writes_per_s * hot_share_direct);
+    let life_leveled = endurance.lifetime(writes_per_s * hot_share_leveled);
+    println!("\nendurance (90%-hot-4-rows write stream @ 10 GB/s sustained):");
+    println!(
+        "  direct mapping lifetime        : {:.1} minutes (hot row eats {:.0}% of traffic!)",
+        life_direct.as_seconds() / 60.0,
+        100.0 * hot_share_direct
+    );
+    println!(
+        "  start-gap(32) lifetime         : {:.1} minutes — {:.1}x longer, {:.2}% extra writes",
+        life_leveled.as_seconds() / 60.0,
+        life_leveled.as_seconds() / life_direct.as_seconds(),
+        100.0 * sg.move_writes() as f64 / leveled.total_writes() as f64
+    );
+    println!("  (a pathological stream: sustained hot-row writes are what wear");
+    println!("   leveling plus DRAM-side write caching exist to absorb)");
+
+    // --- Laser policy choice by duty cycle.
+    println!("\nlaser policy (2k-request probe at each interarrival):");
+    for gap_ns in [1.0, 100.0, 10_000.0] {
+        let trace: Vec<MemRequest> = (0..2_000u64)
+            .map(|i| {
+                MemRequest::new(
+                    i,
+                    Time::from_nanos(i as f64 * gap_ns),
+                    if i % 5 == 0 { MemOp::Write } else { MemOp::Read },
+                    i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % (1 << 30),
+                    ByteCount::new(128),
+                )
+            })
+            .collect();
+        let run = |policy| {
+            let mut dev = CometDevice::with_policy(CometConfig::comet_4b(), policy);
+            run_simulation(&mut dev, &trace, &SimConfig::paced("probe"))
+                .energy_per_bit()
+                .as_picojoules_per_bit()
+        };
+        let static_epb = run(LaserPolicy::Static);
+        let windowed = run(LaserPolicy::Windowed(WindowedPolicy::default_1us()));
+        let pick = if windowed < static_epb * 0.95 { "windowed-1us" } else { "static" };
+        println!(
+            "  interarrival {gap_ns:>7} ns: static {static_epb:>10.1} pJ/b, windowed {windowed:>10.1} pJ/b -> {pick}"
+        );
+    }
+
+    // --- Interface demux feasibility for the wavelength comb.
+    let b4 = LevelBudget::for_bits(config.bits_per_cell);
+    println!("\ninterface demux ({} wavelengths/bus):", config.wavelengths());
+    for (name, order) in [("single-ring", FilterOrder::Single), ("double-ring", FilterOrder::Double)] {
+        let a = WdmCrosstalkAnalysis::new(Microring::interface_demux(), config.wavelengths() as usize, order);
+        println!(
+            "  {name:<12}: accumulated crosstalk {:.4} -> {}",
+            a.total_crosstalk(),
+            if a.within_budget(&b4) { "OK" } else { "exceeds 4-bit margin" }
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: build a COMET memory, store data, read it back through the
+//! optical path, and look at the architecture's headline numbers.
+//!
+//! Run with: `cargo run --release -p comet --example quickstart`
+
+use comet::{CometConfig, CometDevice, CometMemory, CometPowerModel};
+use comet_units::{ByteCount, Time};
+use memsim::{run_simulation, MemOp, MemRequest, SimConfig};
+
+fn main() {
+    // 1. The paper's COMET-4b configuration: 4 MDM banks x 4096 subarrays
+    //    x 512 rows x 256 wavelengths x 4 bits/cell = 2^33 bits.
+    let config = CometConfig::comet_4b();
+    config.validate().expect("paper configuration is feasible");
+    println!(
+        "COMET-4b: {} across {} banks, {} wavelengths, {} bits/cell",
+        config.capacity(),
+        config.banks,
+        config.wavelengths(),
+        config.bits_per_cell
+    );
+
+    // 2. Functional storage: bytes -> 4-bit cell levels -> transmittances
+    //    -> decoded bytes, through the LUT-compensated optical read path.
+    let mut memory = CometMemory::new(config.clone());
+    let message = b"Phase-change photonic main memory, 16 levels per cell.";
+    memory.write(0x4000, message);
+    let readback = memory.read(0x4000, message.len());
+    assert_eq!(&readback, message);
+    println!(
+        "round-trip through the optical path: OK ({} bytes)",
+        message.len()
+    );
+
+    // 3. The power stack the architecture burns (Fig. 7).
+    let stack = CometPowerModel::new(config.clone()).stack();
+    println!("power stack: {stack}");
+
+    // 4. Timing: stream 100k cache lines and measure what the paper's
+    //    Table II timing delivers.
+    let mut device = CometDevice::new(config);
+    let trace: Vec<MemRequest> = (0..100_000u64)
+        .map(|i| {
+            let op = if i % 10 == 0 { MemOp::Write } else { MemOp::Read };
+            MemRequest::new(i, Time::ZERO, op, i * 128, ByteCount::new(128))
+        })
+        .collect();
+    let stats = run_simulation(&mut device, &trace, &SimConfig::saturation("quickstart"));
+    println!(
+        "streamed {} lines: {} sustained, {:.0} ns unloaded read latency, {} energy/bit",
+        stats.completed,
+        stats.bandwidth(),
+        device.config().timing.unloaded_read_latency().as_nanos(),
+        stats.energy_per_bit()
+    );
+}
