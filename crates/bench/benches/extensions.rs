@@ -23,7 +23,7 @@ fn bench_laser_manager(c: &mut Criterion) {
             for k in 0..10_000u64 {
                 // Bursty pattern: clusters of 10 accesses, 5 us apart.
                 let t = Time::from_nanos((k / 10) as f64 * 5000.0 + (k % 10) as f64 * 4.0);
-                stalls = stalls + mgr.on_access(t);
+                stalls += mgr.on_access(t);
             }
             black_box(mgr.finish(Time::from_micros(5_100.0)));
             black_box(stalls)

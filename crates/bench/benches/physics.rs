@@ -3,8 +3,8 @@
 use comet_units::{Power, Time};
 use criterion::{criterion_group, criterion_main, Criterion};
 use opcm_phys::{
-    c_band_wavelengths, effective_index, CellOpticalModel, CellState, CellThermalModel,
-    PcmKind, ProgramMode, ProgramTable, PulseSpec,
+    c_band_wavelengths, effective_index, CellOpticalModel, CellState, CellThermalModel, PcmKind,
+    ProgramMode, ProgramTable, PulseSpec,
 };
 use std::hint::black_box;
 
@@ -73,8 +73,7 @@ fn bench_table_generation(c: &mut Criterion) {
     group.bench_function("amorphous_reset_4bit", |b| {
         b.iter(|| {
             black_box(
-                ProgramTable::generate(&model, ProgramMode::AmorphousReset, 4)
-                    .expect("generates"),
+                ProgramTable::generate(&model, ProgramMode::AmorphousReset, 4).expect("generates"),
             )
         })
     });

@@ -6,15 +6,18 @@ use comet_units::{ByteCount, Time};
 use cosmos::{CosmosConfig, CosmosDevice};
 use criterion::{criterion_group, criterion_main, Criterion};
 use memsim::{
-    run_simulation, DramConfig, DramDevice, EpcmConfig, EpcmDevice, MemOp, MemRequest,
-    SimConfig,
+    run_simulation, DramConfig, DramDevice, EpcmConfig, EpcmDevice, MemOp, MemRequest, SimConfig,
 };
 use std::hint::black_box;
 
 fn trace(n: u64, line: u64) -> Vec<MemRequest> {
     (0..n)
         .map(|i| {
-            let op = if i % 5 == 0 { MemOp::Write } else { MemOp::Read };
+            let op = if i % 5 == 0 {
+                MemOp::Write
+            } else {
+                MemOp::Read
+            };
             MemRequest::new(
                 i,
                 Time::from_nanos(i as f64 * 0.5),

@@ -92,7 +92,9 @@ fn main() {
             format!("{:.2}", loss.value()),
             format!(
                 "{:.2}",
-                laser.electrical_power_for_target(target, loss).as_milliwatts()
+                laser
+                    .electrical_power_for_target(target, loss)
+                    .as_milliwatts()
             ),
         ]);
     }
@@ -116,7 +118,11 @@ fn main() {
             MemRequest::new(
                 i,
                 Time::from_nanos(i as f64 * 0.5),
-                if i % 3 == 0 { MemOp::Write } else { MemOp::Read },
+                if i % 3 == 0 {
+                    MemOp::Write
+                } else {
+                    MemOp::Read
+                },
                 i * 128,
                 ByteCount::new(128),
             )
@@ -142,7 +148,11 @@ fn main() {
         let mut cfg = CometConfig::comet_4b();
         cfg.timing.background_erase = background;
         let (bw, lat) = run(cfg, &trace, Scheduler::default());
-        erase.row(vec![name.to_string(), format!("{bw:.1}"), format!("{lat:.0}")]);
+        erase.row(vec![
+            name.to_string(),
+            format!("{bw:.1}"),
+            format!("{lat:.0}"),
+        ]);
     }
     erase.print();
 
@@ -154,7 +164,11 @@ fn main() {
         ("FCFS", Scheduler::Fcfs),
     ] {
         let (bw, lat) = run(CometConfig::comet_4b(), &trace, s);
-        sched.row(vec![name.to_string(), format!("{bw:.1}"), format!("{lat:.0}")]);
+        sched.row(vec![
+            name.to_string(),
+            format!("{bw:.1}"),
+            format!("{lat:.0}"),
+        ]);
     }
     sched.print();
 
@@ -322,7 +336,10 @@ fn main() {
             wear_table.row(vec![
                 format!("start-gap({period})"),
                 format!("{:.1}", leveled.imbalance()),
-                format!("{:.1}", direct.max_wear() as f64 / leveled.max_wear() as f64),
+                format!(
+                    "{:.1}",
+                    direct.max_wear() as f64 / leveled.max_wear() as f64
+                ),
                 format!("{amp:.2}"),
             ]);
         }
@@ -346,7 +363,11 @@ fn main() {
                 MemRequest::new(
                     i,
                     Time::from_nanos(i as f64 * interarrival_ns),
-                    if i % 5 == 0 { MemOp::Write } else { MemOp::Read },
+                    if i % 5 == 0 {
+                        MemOp::Write
+                    } else {
+                        MemOp::Read
+                    },
                     i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % (1 << 30),
                     ByteCount::new(128),
                 )

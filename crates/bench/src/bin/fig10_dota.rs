@@ -16,7 +16,8 @@ fn main() {
          1.45-2.7x in the paper (Section IV.D)",
     );
 
-    let memories: Vec<(Box<dyn Fn() -> Box<dyn MemoryDevice>>, FeedKind)> = vec![
+    type DeviceFactory = Box<dyn Fn() -> Box<dyn MemoryDevice>>;
+    let memories: Vec<(DeviceFactory, FeedKind)> = vec![
         (
             Box::new(|| Box::new(DramDevice::new(DramConfig::ddr3_1600_2d()))),
             FeedKind::Electronic,
@@ -113,7 +114,10 @@ fn main() {
             batch.to_string(),
             format!(
                 "{:.1}",
-                TransformerWorkload::deit_base().bytes_per_sample(batch).value() as f64 / 1e6
+                TransformerWorkload::deit_base()
+                    .bytes_per_sample(batch)
+                    .value() as f64
+                    / 1e6
             ),
             format!("{:.2}", c.total_epb().as_picojoules_per_bit()),
             format!("{:.2}", d.total_epb().as_picojoules_per_bit()),

@@ -38,9 +38,7 @@ fn main() {
     let mr = Microring::comet_default();
     let mut spectral = Table::new(vec!["channel_spacing_nm", "mr_drop_crosstalk_dB"]);
     for spacing_nm in [0.2, 0.4, 0.8, 1.6] {
-        let xtalk = mr.adjacent_channel_crosstalk(comet_units::Length::from_nanometers(
-            spacing_nm,
-        ));
+        let xtalk = mr.adjacent_channel_crosstalk(comet_units::Length::from_nanometers(spacing_nm));
         spectral.row(vec![
             format!("{spacing_nm:.1}"),
             format!("-{:.1}", xtalk.value()),

@@ -48,7 +48,7 @@ fn main() {
     // "Aggressor" writes to adjacent address ranges.
     for k in 0..8u64 {
         let pattern = vec![(k * 17 % 251) as u8; 128];
-        mem.write(1 << 20 | k * 128, &pattern);
+        mem.write((1 << 20) | (k * 128), &pattern);
     }
     let readback = mem.read(0, bytes.len());
     let errors = bytes.iter().zip(&readback).filter(|(a, b)| a != b).count();

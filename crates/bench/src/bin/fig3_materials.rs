@@ -12,13 +12,7 @@ fn main() {
          the three candidates, motivating its selection (Section III.A)",
     );
 
-    let mut table = Table::new(vec![
-        "material",
-        "phase",
-        "wavelength_nm",
-        "n",
-        "kappa",
-    ]);
+    let mut table = Table::new(vec!["material", "phase", "wavelength_nm", "n", "kappa"]);
     for p in material_spectra(15) {
         table.row(vec![
             p.kind.to_string(),

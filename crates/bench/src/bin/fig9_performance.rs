@@ -10,8 +10,8 @@ use comet::{CometConfig, CometDevice};
 use comet_bench::{header, ratio, Table};
 use cosmos::{CosmosConfig, CosmosDevice};
 use memsim::{
-    run_simulation, spec_like_suite, DramConfig, DramDevice, EpcmConfig, EpcmDevice,
-    MemoryDevice, SimConfig, SimStats,
+    run_simulation, spec_like_suite, DramConfig, DramDevice, EpcmConfig, EpcmDevice, MemoryDevice,
+    SimConfig, SimStats,
 };
 
 struct Summary {

@@ -14,25 +14,43 @@ fn main() {
 
     let p = OpticalParams::table_i();
     let mut loss = Table::new(vec!["loss_parameter", "value"]);
-    loss.row(vec!["coupling loss".to_string(), format!("{}", p.coupling_loss)])
-        .row(vec!["MR drop loss".to_string(), format!("{}", p.mr_drop_loss)])
-        .row(vec!["MR through loss".to_string(), format!("{}", p.mr_through_loss)])
-        .row(vec!["EO tuned MR drop loss".to_string(), format!("{}", p.eo_mr_drop_loss)])
-        .row(vec![
-            "EO tuned MR through loss".to_string(),
-            format!("{}", p.eo_mr_through_loss),
-        ])
-        .row(vec![
-            "propagation loss".to_string(),
-            format!("{} /cm", p.propagation_loss_per_cm),
-        ])
-        .row(vec!["bending loss".to_string(), format!("{} /90deg", p.bend_loss_per_90)])
-        .row(vec!["GST switch loss".to_string(), format!("{}", p.gst_switch_loss)])
-        .row(vec!["SOA gain".to_string(), format!("{}", p.soa_gain)])
-        .row(vec![
-            "intra-subarray SOA gain".to_string(),
-            format!("{}", p.intra_subarray_soa_gain),
-        ]);
+    loss.row(vec![
+        "coupling loss".to_string(),
+        format!("{}", p.coupling_loss),
+    ])
+    .row(vec![
+        "MR drop loss".to_string(),
+        format!("{}", p.mr_drop_loss),
+    ])
+    .row(vec![
+        "MR through loss".to_string(),
+        format!("{}", p.mr_through_loss),
+    ])
+    .row(vec![
+        "EO tuned MR drop loss".to_string(),
+        format!("{}", p.eo_mr_drop_loss),
+    ])
+    .row(vec![
+        "EO tuned MR through loss".to_string(),
+        format!("{}", p.eo_mr_through_loss),
+    ])
+    .row(vec![
+        "propagation loss".to_string(),
+        format!("{} /cm", p.propagation_loss_per_cm),
+    ])
+    .row(vec![
+        "bending loss".to_string(),
+        format!("{} /90deg", p.bend_loss_per_90),
+    ])
+    .row(vec![
+        "GST switch loss".to_string(),
+        format!("{}", p.gst_switch_loss),
+    ])
+    .row(vec!["SOA gain".to_string(), format!("{}", p.soa_gain)])
+    .row(vec![
+        "intra-subarray SOA gain".to_string(),
+        format!("{}", p.intra_subarray_soa_gain),
+    ]);
     loss.print();
 
     let mut power = Table::new(vec!["power_parameter", "value"]);
@@ -45,7 +63,8 @@ fn main() {
             "EO tuning power".to_string(),
             format!(
                 "{:.1} uW/nm",
-                p.eo_tuning_power(Length::from_nanometers(1.0)).as_microwatts()
+                p.eo_tuning_power(Length::from_nanometers(1.0))
+                    .as_microwatts()
             ),
         ])
         .row(vec![

@@ -73,7 +73,10 @@ impl LevelCodec {
     /// number of bits, strictly decreasing.
     pub fn from_levels(levels: Vec<f64>) -> Self {
         let n = levels.len();
-        assert!(n.is_power_of_two() && n >= 2, "level count must be a power of two");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "level count must be a power of two"
+        );
         assert!(
             levels.windows(2).all(|w| w[0] > w[1]),
             "levels must strictly decrease"
@@ -178,9 +181,9 @@ pub fn decode_levels(levels: &[u8], bits: u8) -> Vec<u8> {
     levels
         .chunks(per_byte)
         .map(|chunk| {
-            chunk
-                .iter()
-                .fold(0u8, |acc, &l| (acc << bits) | (l & ((1u16 << bits) as u8 - 1)))
+            chunk.iter().fold(0u8, |acc, &l| {
+                (acc << bits) | (l & ((1u16 << bits) as u8 - 1))
+            })
         })
         .collect()
 }

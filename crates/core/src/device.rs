@@ -256,7 +256,8 @@ impl MemoryDevice for CometDevice {
                 let data_ready = issue + t.burst_time();
                 let program_start = issue + switch.max(t.burst_time());
                 let program_done = program_start + t.write_occupancy();
-                self.subarray_busy.insert((loc.channel, subarray), program_done);
+                self.subarray_busy
+                    .insert((loc.channel, subarray), program_done);
                 let mut energy = self.energies.write_per_cell * cells;
                 if !t.background_erase {
                     energy += self.energies.erase_per_cell * cells;
@@ -350,11 +351,20 @@ mod tests {
         let sub0 = loc(0, 0);
         let sub1 = loc(0, 1); // striping sends row 1 to a distant subarray
         let a = dev.access(&sub0, MemOp::Read, Time::ZERO);
-        assert!((a.data_ready_at.as_nanos() - 112.0).abs() < 1e-9, "cold switch");
+        assert!(
+            (a.data_ready_at.as_nanos() - 112.0).abs() < 1e-9,
+            "cold switch"
+        );
         let b = dev.access(&sub1, MemOp::Read, Time::from_nanos(500.0));
-        assert!((b.data_ready_at.as_nanos() - 612.0).abs() < 1e-9, "switch to 1");
+        assert!(
+            (b.data_ready_at.as_nanos() - 612.0).abs() < 1e-9,
+            "switch to 1"
+        );
         let c = dev.access(&sub1, MemOp::Read, Time::from_nanos(1000.0));
-        assert!((c.data_ready_at.as_nanos() - 1012.0).abs() < 1e-9, "latched");
+        assert!(
+            (c.data_ready_at.as_nanos() - 1012.0).abs() < 1e-9,
+            "latched"
+        );
         assert!(dev.row_hit(&sub1));
         // The open window keeps sub0 latched too (no thrash)...
         assert!(dev.row_hit(&sub0));
@@ -405,7 +415,9 @@ mod tests {
     #[test]
     fn background_power_is_the_fig7_stack() {
         let dev = device();
-        let stack = CometPowerModel::new(CometConfig::comet_4b()).stack().total();
+        let stack = CometPowerModel::new(CometConfig::comet_4b())
+            .stack()
+            .total();
         assert!((dev.background_power().as_watts() - stack.as_watts()).abs() < 1e-9);
         assert!(dev.background_power().as_watts() > 10.0);
     }
@@ -438,8 +450,14 @@ mod tests {
         let sw = run_simulation(&mut mk(), &seq_writes, &SimConfig::saturation("w"));
         let r = sr.bandwidth().as_gigabytes_per_second();
         let w = sw.bandwidth().as_gigabytes_per_second();
-        assert!(w > 60.0, "striped write BW {w} GB/s should approach the bus rate");
-        assert!(r > 60.0, "streaming read BW {r} GB/s should approach the bus rate");
+        assert!(
+            w > 60.0,
+            "striped write BW {w} GB/s should approach the bus rate"
+        );
+        assert!(
+            r > 60.0,
+            "streaming read BW {r} GB/s should approach the bus rate"
+        );
 
         // A row stride equal to the full stripe defeats the interleaving:
         // every write in a channel lands in the same subarray and the

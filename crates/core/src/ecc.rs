@@ -89,7 +89,7 @@ fn data_position(i: u8) -> u32 {
 /// Inverse of [`data_position`]: the data-bit index at Hamming position
 /// `pos`, if `pos` is a data position.
 fn position_data(pos: u32) -> Option<u8> {
-    if pos < 3 || pos > 71 || pos.is_power_of_two() {
+    if !(3..=71).contains(&pos) || pos.is_power_of_two() {
         return None;
     }
     // Count non-power-of-two positions in 3..pos.
@@ -293,7 +293,10 @@ mod tests {
                 }
             }
         }
-        assert_eq!(miscorrected, 0, "no silent miscorrection of data+check doubles");
+        assert_eq!(
+            miscorrected, 0,
+            "no silent miscorrection of data+check doubles"
+        );
     }
 
     #[test]
@@ -376,7 +379,10 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for i in 0..64u8 {
             let pos = data_position(i);
-            assert!(pos >= 3 && pos <= 71 && !pos.is_power_of_two(), "pos {pos}");
+            assert!(
+                (3..=71).contains(&pos) && !pos.is_power_of_two(),
+                "pos {pos}"
+            );
             assert!(seen.insert(pos), "duplicate position {pos}");
             assert_eq!(position_data(pos), Some(i));
         }

@@ -34,18 +34,13 @@ use comet_units::{Energy, Power, Time};
 use serde::{Deserialize, Serialize};
 
 /// Laser management policy for [`CometDevice`](crate::CometDevice).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum LaserPolicy {
     /// The paper's baseline: the full power stack burns for the whole run.
+    #[default]
     Static,
     /// Windowed demand gating (the \[43]-style extension).
     Windowed(WindowedPolicy),
-}
-
-impl Default for LaserPolicy {
-    fn default() -> Self {
-        LaserPolicy::Static
-    }
 }
 
 /// Parameters of the windowed laser manager.

@@ -77,8 +77,8 @@ impl AddressMapper {
         CometAddress {
             channel: flat.channel,
             bank: flat.bank,
-            subarray: id2 * self.grid_side + id1, // Eq. (4)
-            row: flat.row % self.subarray_rows, // Eq. (5)
+            subarray: id2 * self.grid_side + id1,     // Eq. (4)
+            row: flat.row % self.subarray_rows,       // Eq. (5)
             column: flat.column % self.subarray_cols, // Eq. (6)
         }
     }

@@ -168,7 +168,7 @@ impl CometMemory {
 
     /// Writes an arbitrary byte span (line-granular read-modify-write).
     pub fn write(&mut self, address: u64, data: &[u8]) {
-        let line = self.config.timing.access_bytes() as u64;
+        let line = self.config.timing.access_bytes();
         let mut cursor = 0usize;
         let mut addr = address;
         while cursor < data.len() {
@@ -185,7 +185,7 @@ impl CometMemory {
 
     /// Reads an arbitrary byte span through the optical path.
     pub fn read(&mut self, address: u64, len: usize) -> Vec<u8> {
-        let line = self.config.timing.access_bytes() as u64;
+        let line = self.config.timing.access_bytes();
         let mut out = Vec::with_capacity(len);
         let mut addr = address;
         while out.len() < len {
@@ -207,9 +207,12 @@ impl CometMemory {
     /// Panics if `address` is not line-aligned or `cell` exceeds the line's
     /// cell count.
     pub fn inject_stuck_cell(&mut self, address: u64, cell: u64, level: u8) {
-        let line = self.config.timing.access_bytes() as u64;
+        let line = self.config.timing.access_bytes();
         assert_eq!(address % line, 0, "address must be line-aligned");
-        assert!(cell < self.config.cells_per_line(), "cell index out of range");
+        assert!(
+            cell < self.config.cells_per_line(),
+            "cell index out of range"
+        );
         let flat = self.addr_map.decode(address);
         let loc = self.mapper.map(flat);
         self.subarray_entry(loc.bank, loc.subarray)
@@ -322,7 +325,11 @@ mod tests {
         let line: Vec<u8> = (0..128).collect();
         mem.write_line(0, &line);
         mem.inject_read_loss(Decibels::new(2.0));
-        assert_ne!(mem.read_line(0), line, "2 dB fault must corrupt 4-bit cells");
+        assert_ne!(
+            mem.read_line(0),
+            line,
+            "2 dB fault must corrupt 4-bit cells"
+        );
         mem.inject_read_loss(Decibels::ZERO);
         assert_eq!(mem.read_line(0), line, "data itself is intact");
     }
@@ -341,10 +348,10 @@ mod tests {
     fn lazy_materialization() {
         let mut mem = memory();
         assert_eq!(mem.touched_subarrays(), 0);
-        mem.write_line(0, &vec![1u8; 128]);
+        mem.write_line(0, &[1u8; 128]);
         assert_eq!(mem.touched_subarrays(), 1);
         // A far-away line touches a different subarray.
-        mem.write_line(1 << 24, &vec![2u8; 128]);
+        mem.write_line(1 << 24, &[2u8; 128]);
         assert_eq!(mem.touched_subarrays(), 2);
     }
 
@@ -352,7 +359,7 @@ mod tests {
     #[should_panic(expected = "line-aligned")]
     fn misaligned_line_write_rejected() {
         let mut mem = memory();
-        mem.write_line(64, &vec![0u8; 128]);
+        mem.write_line(64, &[0u8; 128]);
     }
 
     #[test]
@@ -370,7 +377,9 @@ mod tests {
         // per cell, MSB-first).
         mem.inject_stuck_cell(0, 6, 0xF);
         let data = vec![0u8; 128];
-        let err = mem.write_verified(0, &data).expect_err("stuck cell must fail verify");
+        let err = mem
+            .write_verified(0, &data)
+            .expect_err("stuck cell must fail verify");
         assert_eq!(err.bad_offsets, vec![3]);
         // The rest of the line stored fine.
         let got = mem.read(0, 128);

@@ -117,11 +117,7 @@ impl CometPowerModel {
         let laser = Laser::new(self.config.optical.laser_wall_plug_efficiency);
         let loss = self.access_path().total_loss(&self.config.optical);
         let channels = (self.config.banks * self.config.wavelengths()) as usize;
-        laser.electrical_power_for_channels(
-            self.config.optical.max_power_at_cell,
-            loss,
-            channels,
-        )
+        laser.electrical_power_for_channels(self.config.optical.max_power_at_cell, loss, channels)
     }
 
     /// Active SOA power: `B·M_r·M_c/46 × 1.4 mW`.
@@ -181,8 +177,18 @@ mod tests {
             .into_iter()
             .map(|c| model(c).stack().total().as_watts())
             .collect();
-        assert!(totals[0] > totals[1], "1b {} <= 2b {}", totals[0], totals[1]);
-        assert!(totals[1] > totals[2], "2b {} <= 4b {}", totals[1], totals[2]);
+        assert!(
+            totals[0] > totals[1],
+            "1b {} <= 2b {}",
+            totals[0],
+            totals[1]
+        );
+        assert!(
+            totals[1] > totals[2],
+            "2b {} <= 4b {}",
+            totals[1],
+            totals[2]
+        );
         // Halving the wavelength count should roughly halve the stack.
         let ratio = totals[0] / totals[2];
         assert!((3.0..=5.0).contains(&ratio), "1b/4b ratio {ratio}");

@@ -138,7 +138,10 @@ impl DriftModel {
     ///
     /// Panics if `p` is outside `[0, 1]`.
     pub fn transmittance_shift(&self, p: f64, elapsed: Time) -> f64 {
-        assert!((0.0..=1.0).contains(&p), "fraction must be in [0,1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "fraction must be in [0,1], got {p}"
+        );
         let amorphous = 1.0 - p;
         let decades = (1.0 + elapsed.as_seconds() / self.tau.as_seconds()).log10();
         self.delta_per_decade * amorphous * decades

@@ -181,8 +181,13 @@ impl CosmosConfig {
     /// paper derives 6 for the corrected design (1.4 dB worst per-cell loss
     /// over 32 cells against 15.2 dB usable gain, row and column paths).
     pub fn soa_arrays_per_subarray(&self) -> u64 {
-        let worst_cell_loss_db =
-            -10.0 * self.level_transmittances.last().copied().unwrap_or(0.72).log10();
+        let worst_cell_loss_db = -10.0
+            * self
+                .level_transmittances
+                .last()
+                .copied()
+                .unwrap_or(0.72)
+                .log10();
         // The paper works with the rounded 1.4 dB figure.
         let worst_cell_loss_db = (worst_cell_loss_db * 10.0).round() / 10.0;
         let per_path_db = worst_cell_loss_db * self.subarray_side as f64;

@@ -114,8 +114,7 @@ impl Crossbar {
     /// to a victim cell (saturating accumulation).
     fn disturb(&mut self, row: u64, col: u64, energy: Energy) {
         let i = self.index(row, col);
-        let raw_shift =
-            DRIFT_SATURATION * (energy.as_picojoules() / REFERENCE_WRITE_PJ).min(4.0);
+        let raw_shift = DRIFT_SATURATION * (energy.as_picojoules() / REFERENCE_WRITE_PJ).min(4.0);
         let headroom = DRIFT_SATURATION - self.drift[i];
         self.drift[i] += headroom.max(0.0) * (raw_shift / DRIFT_SATURATION).min(1.0);
     }
@@ -231,11 +230,7 @@ impl Crossbar {
     pub fn row_error_rate(&self, row: u64) -> f64 {
         let stored = self.stored_row(row);
         let observed = self.ideal_read_row(row);
-        let errors = stored
-            .iter()
-            .zip(&observed)
-            .filter(|(s, o)| s != o)
-            .count();
+        let errors = stored.iter().zip(&observed).filter(|(s, o)| s != o).count();
         errors as f64 / stored.len() as f64
     }
 }

@@ -225,7 +225,11 @@ mod tests {
         use comet::{CometConfig, CometDevice};
         let reqs: Vec<MemRequest> = (0..4000u64)
             .map(|i| {
-                let op = if i % 5 == 0 { MemOp::Write } else { MemOp::Read };
+                let op = if i % 5 == 0 {
+                    MemOp::Write
+                } else {
+                    MemOp::Read
+                };
                 MemRequest::new(i, Time::ZERO, op, i * 131 * 128, ByteCount::new(128))
             })
             .collect();

@@ -81,8 +81,7 @@ impl CosmosPowerModel {
     /// bank, at the subtractive read's *double* activity (the whole
     /// subarray is illuminated twice per read).
     pub fn soa_power(&self) -> Power {
-        let per_subarray =
-            self.config.soa_arrays_per_subarray() * self.config.subarray_side;
+        let per_subarray = self.config.soa_arrays_per_subarray() * self.config.subarray_side;
         let active = per_subarray * self.config.banks;
         let activity = if self.config.model_subtractive_read {
             2.0
@@ -105,8 +104,7 @@ impl CosmosPowerModel {
 
     /// Electrical interface power: one lane per bus bit per bank.
     pub fn interface_power(&self) -> Power {
-        self.interface_lane_power
-            * (self.config.banks * self.config.timing.bus_bits as u64) as f64
+        self.interface_lane_power * (self.config.banks * self.config.timing.bus_bits as u64) as f64
     }
 
     /// The full stack (Fig. 8's COSMOS bar).
@@ -134,7 +132,11 @@ mod tests {
         // Fig. 8's observation for both architectures.
         let s = model().stack();
         assert!(s.laser.as_watts() > s.soa.as_watts());
-        assert!(s.laser / s.total() > 0.5, "laser share {}", s.laser / s.total());
+        assert!(
+            s.laser / s.total() > 0.5,
+            "laser share {}",
+            s.laser / s.total()
+        );
     }
 
     #[test]
@@ -143,7 +145,9 @@ mod tests {
         // paper quotes 26%; our component model lands in the same
         // direction — see EXPERIMENTS.md for the measured ratio).
         let cosmos = model().stack().total();
-        let comet = CometPowerModel::new(CometConfig::comet_4b()).stack().total();
+        let comet = CometPowerModel::new(CometConfig::comet_4b())
+            .stack()
+            .total();
         assert!(
             comet.as_watts() < cosmos.as_watts(),
             "COMET {} should undercut COSMOS {}",

@@ -129,9 +129,7 @@ mod tests {
 
     #[test]
     fn conversion_energies_ordered() {
-        assert!(
-            FeedKind::Electronic.conversion_energy() > FeedKind::Photonic.conversion_energy()
-        );
+        assert!(FeedKind::Electronic.conversion_energy() > FeedKind::Photonic.conversion_energy());
     }
 
     #[test]

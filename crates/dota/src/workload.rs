@@ -96,8 +96,7 @@ impl TransformerWorkload {
             read_fraction: {
                 // Reads are the weight stream plus re-loaded spills; the
                 // write share grows with the batch's activation traffic.
-                let writes =
-                    (1.0 - self.read_fraction) * (activations * batch as u64) as f64;
+                let writes = (1.0 - self.read_fraction) * (activations * batch as u64) as f64;
                 let total = (weights + activations * batch as u64) as f64;
                 1.0 - writes / total
             },

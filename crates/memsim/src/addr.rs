@@ -229,7 +229,11 @@ impl AddressMap {
     ///
     /// Panics if any coordinate is out of range.
     pub fn encode(&self, d: DecodedAddress) -> u64 {
-        assert!(d.channel < self.channels, "channel {} out of range", d.channel);
+        assert!(
+            d.channel < self.channels,
+            "channel {} out of range",
+            d.channel
+        );
         assert!(d.bank < self.banks, "bank {} out of range", d.bank);
         assert!(d.row < self.rows, "row {} out of range", d.row);
         assert!(d.column < self.columns, "column {} out of range", d.column);

@@ -315,10 +315,7 @@ impl MemoryDevice for DramDevice {
 
         let (array_delay, mut energy) = match self.open_rows[idx] {
             Some(open) if open == loc.row => (t.cycles(t.cl), Energy::ZERO),
-            Some(_) => (
-                t.cycles(t.t_rp + t.t_rcd + t.cl),
-                e.activate,
-            ),
+            Some(_) => (t.cycles(t.t_rp + t.t_rcd + t.cl), e.activate),
             None => (t.cycles(t.t_rcd + t.cl), e.activate),
         };
 
@@ -464,6 +461,8 @@ mod tests {
             DramConfig::ddr4_3d().timings.bus_bits > DramConfig::ddr4_2400_2d().timings.bus_bits
         );
         assert!(DramConfig::ddr4_3d().topology.banks > DramConfig::ddr4_2400_2d().topology.banks);
-        assert!(DramConfig::ddr4_3d().energy.read_line < DramConfig::ddr4_2400_2d().energy.read_line);
+        assert!(
+            DramConfig::ddr4_3d().energy.read_line < DramConfig::ddr4_2400_2d().energy.read_line
+        );
     }
 }

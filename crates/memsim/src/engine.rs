@@ -158,8 +158,7 @@ pub fn run_simulation(
                         let base = bank_free[b].max(arrivals[idx]);
                         let ready = device.bank_available(&decoded[idx], base);
                         let hit = device.row_hit(&decoded[idx]);
-                        let better = ready < chosen.1
-                            || (ready == chosen.1 && hit && !chosen.2);
+                        let better = ready < chosen.1 || (ready == chosen.1 && hit && !chosen.2);
                         if better {
                             chosen = (p, ready, hit);
                         }
@@ -288,8 +287,7 @@ mod tests {
         let s1 = run_simulation(&mut mk(), &hits, &SimConfig::saturation("hits"));
         let s2 = run_simulation(&mut mk(), &misses, &SimConfig::saturation("misses"));
         assert!(
-            s1.bandwidth().as_gigabytes_per_second()
-                > s2.bandwidth().as_gigabytes_per_second(),
+            s1.bandwidth().as_gigabytes_per_second() > s2.bandwidth().as_gigabytes_per_second(),
             "hits {} vs misses {}",
             s1.bandwidth(),
             s2.bandwidth()
@@ -305,8 +303,18 @@ mod tests {
         let mut reqs = Vec::new();
         for i in 0..400u64 {
             // Alternate between row A and row B columns in bank 0.
-            let addr = if i % 2 == 0 { i / 2 * 64 * 8 } else { (1 << 22) + i / 2 * 64 * 8 };
-            reqs.push(MemRequest::new(i, Time::ZERO, MemOp::Read, addr, ByteCount::new(64)));
+            let addr = if i % 2 == 0 {
+                i / 2 * 64 * 8
+            } else {
+                (1 << 22) + i / 2 * 64 * 8
+            };
+            reqs.push(MemRequest::new(
+                i,
+                Time::ZERO,
+                MemOp::Read,
+                addr,
+                ByteCount::new(64),
+            ));
         }
         let mut d1 = DramDevice::new(DramConfig::ddr3_1600_2d());
         let mut d2 = DramDevice::new(DramConfig::ddr3_1600_2d());
@@ -364,8 +372,7 @@ mod tests {
         let sr = run_simulation(&mut mk(), &reads, &SimConfig::saturation("r"));
         let sw = run_simulation(&mut mk(), &writes, &SimConfig::saturation("w"));
         assert!(
-            sr.bandwidth().as_gigabytes_per_second()
-                > sw.bandwidth().as_gigabytes_per_second()
+            sr.bandwidth().as_gigabytes_per_second() > sw.bandwidth().as_gigabytes_per_second()
         );
     }
 
@@ -375,7 +382,10 @@ mod tests {
         // Slow paced trace spanning several refresh intervals.
         let reqs = paced_stream(100, 1000.0); // 100 us total
         let s = run_simulation(&mut dev, &reqs, &SimConfig::paced("slow"));
-        assert!(s.energy.refresh > comet_units::Energy::ZERO, "refresh energy");
+        assert!(
+            s.energy.refresh > comet_units::Energy::ZERO,
+            "refresh energy"
+        );
         assert!(s.energy.background > comet_units::Energy::ZERO);
         assert!(s.energy.access > comet_units::Energy::ZERO);
     }

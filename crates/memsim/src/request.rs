@@ -101,7 +101,13 @@ mod tests {
 
     #[test]
     fn latency_decomposition() {
-        let req = MemRequest::new(1, Time::from_nanos(100.0), MemOp::Write, 0x80, ByteCount::new(64));
+        let req = MemRequest::new(
+            1,
+            Time::from_nanos(100.0),
+            MemOp::Write,
+            0x80,
+            ByteCount::new(64),
+        );
         let done = CompletedRequest {
             request: req,
             issued: Time::from_nanos(150.0),

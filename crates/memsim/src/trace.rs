@@ -142,7 +142,13 @@ pub fn write_trace<W: Write>(
     clock: TraceClock,
 ) -> io::Result<()> {
     for r in requests {
-        writeln!(writer, "{} {} {:x}", clock.cycle_of(r.arrival), r.op, r.address)?;
+        writeln!(
+            writer,
+            "{} {} {:x}",
+            clock.cycle_of(r.arrival),
+            r.op,
+            r.address
+        )?;
     }
     Ok(())
 }
@@ -156,7 +162,13 @@ mod tests {
         let clock = TraceClock::two_ghz();
         let reqs = vec![
             MemRequest::new(0, clock.time_of(0), MemOp::Read, 0x1000, ByteCount::new(64)),
-            MemRequest::new(1, clock.time_of(100), MemOp::Write, 0xdead40, ByteCount::new(64)),
+            MemRequest::new(
+                1,
+                clock.time_of(100),
+                MemOp::Write,
+                0xdead40,
+                ByteCount::new(64),
+            ),
         ];
         let mut buf = Vec::new();
         write_trace(&mut buf, &reqs, clock).unwrap();

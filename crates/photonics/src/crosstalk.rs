@@ -176,8 +176,6 @@ mod tests {
             ..strong
         };
         let e = Energy::from_picojoules(750.0);
-        assert!(
-            weak.writes_to_corruption(e, 16, 0.9) > strong.writes_to_corruption(e, 16, 0.9)
-        );
+        assert!(weak.writes_to_corruption(e, 16, 0.9) > strong.writes_to_corruption(e, 16, 0.9));
     }
 }

@@ -102,25 +102,28 @@ mod tests {
     #[test]
     fn zero_loss_costs_only_efficiency() {
         let laser = Laser::new(0.2);
-        let e =
-            laser.electrical_power_for_target(Power::from_milliwatts(1.0), Decibels::ZERO);
+        let e = laser.electrical_power_for_target(Power::from_milliwatts(1.0), Decibels::ZERO);
         assert!((e.as_milliwatts() - 5.0).abs() < 1e-12);
     }
 
     #[test]
     fn three_db_doubles_optical() {
         let laser = Laser::new(1.0);
-        let e = laser
-            .electrical_power_for_target(Power::from_milliwatts(1.0), Decibels::new(3.0103));
+        let e =
+            laser.electrical_power_for_target(Power::from_milliwatts(1.0), Decibels::new(3.0103));
         assert!((e.as_milliwatts() - 2.0).abs() < 1e-3);
     }
 
     #[test]
     fn channels_scale_linearly() {
         let laser = Laser::table_i();
-        let one = laser.electrical_power_for_target(Power::from_milliwatts(1.0), Decibels::new(5.0));
-        let many =
-            laser.electrical_power_for_channels(Power::from_milliwatts(1.0), Decibels::new(5.0), 256);
+        let one =
+            laser.electrical_power_for_target(Power::from_milliwatts(1.0), Decibels::new(5.0));
+        let many = laser.electrical_power_for_channels(
+            Power::from_milliwatts(1.0),
+            Decibels::new(5.0),
+            256,
+        );
         assert!((many.as_watts() - one.as_watts() * 256.0).abs() < 1e-12);
     }
 

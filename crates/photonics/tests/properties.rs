@@ -6,8 +6,8 @@
 
 use comet_units::{Decibels, Length, Power};
 use photonic::{
-    FilterOrder, Laser, LevelBudget, Microring, ModePenalty, MrTuning, OpticalParams,
-    OpticalPath, PathElement, Photodetector, WdmCrosstalkAnalysis, WdmMdmLink,
+    FilterOrder, Laser, LevelBudget, Microring, ModePenalty, MrTuning, OpticalParams, OpticalPath,
+    PathElement, Photodetector, WdmCrosstalkAnalysis, WdmMdmLink,
 };
 use proptest::prelude::*;
 
@@ -253,7 +253,7 @@ proptest! {
         let ring = Microring::interface_demux();
         let budget = LevelBudget::for_bits(bits);
         let max = WdmCrosstalkAnalysis::max_channels_within(ring, FilterOrder::Double, &budget);
-        prop_assume!(max >= 2 && max < 4096);
+        prop_assume!((2..4096).contains(&max));
         prop_assert!(
             WdmCrosstalkAnalysis::new(ring, max, FilterOrder::Double).within_budget(&budget)
         );

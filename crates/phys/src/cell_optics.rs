@@ -131,11 +131,7 @@ impl CellOpticalModel {
     /// by bisection on the (strictly decreasing) `T(p)` curve.
     ///
     /// Returns `None` if the target is outside `[T(1), T(0)]`.
-    pub fn fraction_for_transmittance(
-        &self,
-        target: Transmittance,
-        lambda: Length,
-    ) -> Option<f64> {
+    pub fn fraction_for_transmittance(&self, target: Transmittance, lambda: Length) -> Option<f64> {
         let t0 = self.transmittance(0.0, lambda).value();
         let t1 = self.transmittance(1.0, lambda).value();
         let t = target.value();

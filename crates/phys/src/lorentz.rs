@@ -36,7 +36,7 @@ use serde::{Deserialize, Serialize};
 /// assert!((e - 0.7999).abs() < 1e-3);
 /// ```
 pub fn photon_energy_ev(lambda: Length) -> f64 {
-    const HC_EV_NM: f64 = 1239.841_984;
+    const HC_EV_NM: f64 = 1_239.841_984;
     HC_EV_NM / lambda.as_nanometers()
 }
 

@@ -76,7 +76,11 @@ pub fn effective_index(material: &PcmMaterial, p: f64, lambda: Length) -> Comple
 ///
 /// Returns `None` if the target lies outside the achievable
 /// `[κ(p=0), κ(p=1)]` range.
-pub fn fraction_for_kappa(material: &PcmMaterial, kappa_target: f64, lambda: Length) -> Option<f64> {
+pub fn fraction_for_kappa(
+    material: &PcmMaterial,
+    kappa_target: f64,
+    lambda: Length,
+) -> Option<f64> {
     let k0 = effective_index(material, 0.0, lambda).kappa;
     let k1 = effective_index(material, 1.0, lambda).kappa;
     if kappa_target < k0 || kappa_target > k1 {

@@ -208,11 +208,12 @@ impl ProgramTable {
             let fraction = optics
                 .fraction_for_transmittance(target_t, lambda)
                 .unwrap_or(if k == 0 { 0.0 } else { 1.0 });
-            let pulse =
-                Self::solve_level_pulse(model, mode, fraction).ok_or(GenerateTableError::Unreachable {
+            let pulse = Self::solve_level_pulse(model, mode, fraction).ok_or(
+                GenerateTableError::Unreachable {
                     level: k as u8,
                     target: fraction,
-                })?;
+                },
+            )?;
             levels.push(LevelSpec {
                 level: k as u8,
                 transmittance: target_t,
@@ -453,7 +454,11 @@ mod tests {
         assert_eq!(t.levels.len(), 16);
         // Paper: "16 distinctive and equally spaced transmission levels
         // (with 6% spacing)".
-        assert!((0.045..=0.075).contains(&t.spacing), "spacing {}", t.spacing);
+        assert!(
+            (0.045..=0.075).contains(&t.spacing),
+            "spacing {}",
+            t.spacing
+        );
         for pair in t.levels.windows(2) {
             let d = pair[0].transmittance.value() - pair[1].transmittance.value();
             assert!((d - t.spacing).abs() < 1e-9);
@@ -483,7 +488,10 @@ mod tests {
                 pair[1].level
             );
         }
-        assert!(t.levels[0].latency().is_zero(), "level 0 is the reset state");
+        assert!(
+            t.levels[0].latency().is_zero(),
+            "level 0 is the reset state"
+        );
     }
 
     #[test]

@@ -42,9 +42,7 @@ pub fn c_band_wavelengths(count: usize) -> Vec<Length> {
     let start = c_band_start().as_nanometers();
     let end = c_band_end().as_nanometers();
     (0..count)
-        .map(|i| {
-            Length::from_nanometers(start + (end - start) * i as f64 / (count - 1) as f64)
-        })
+        .map(|i| Length::from_nanometers(start + (end - start) * i as f64 / (count - 1) as f64))
         .collect()
 }
 
@@ -135,8 +133,10 @@ mod tests {
         // Paper: 0.073 dB/mm at 1530 nm -> 0.067 dB/mm at 1565 nm.
         let model = CellOpticalModel::comet_gst();
         let sweep = cell_spectrum(&model, 8);
-        assert!(sweep.first().unwrap().amorphous_loss_db_per_mm
-            > sweep.last().unwrap().amorphous_loss_db_per_mm);
+        assert!(
+            sweep.first().unwrap().amorphous_loss_db_per_mm
+                > sweep.last().unwrap().amorphous_loss_db_per_mm
+        );
         for p in &sweep {
             assert!((0.05..=0.09).contains(&p.amorphous_loss_db_per_mm));
         }

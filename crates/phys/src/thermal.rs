@@ -123,7 +123,10 @@ impl CellState {
     ///
     /// Panics if `p` is outside `[0, 1]`.
     pub fn at_fraction(p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "fraction must be in [0,1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "fraction must be in [0,1], got {p}"
+        );
         CellState {
             crystalline_fraction: p,
             temperature: Temperature::AMBIENT,
@@ -386,7 +389,7 @@ impl CellThermalModel {
             // and does not re-crystallize; the (1-mu) weighting handles the
             // still-molten part, and we additionally freeze kinetics once
             // cooling if melting happened (critical quench rate satisfied).
-            if !(melted && !heating) {
+            if !melted || heating {
                 let rate = self.crystallization_rate(Temperature::from_kelvin(temp));
                 if rate > 0.0 {
                     p += rate * (1.0 - p) * dt;
@@ -442,11 +445,13 @@ impl CellThermalModel {
     /// i.e. whether the worst-case (fully crystalline/molten) steady-state
     /// temperature reaches the melting point.
     pub fn can_melt_at(&self, power: Power) -> bool {
-        let worst = self.absorptance(1.0).max(if power >= self.params.write_assist_threshold {
-            self.params.write_assist_floor
-        } else {
-            0.0
-        });
+        let worst = self
+            .absorptance(1.0)
+            .max(if power >= self.params.write_assist_threshold {
+                self.params.write_assist_floor
+            } else {
+                0.0
+            });
         self.steady_state_temperature(Power::from_watts(power.as_watts() * worst))
             >= self.optics.material.thermal.melting_point
     }
@@ -484,10 +489,7 @@ mod tests {
 
     #[test]
     fn five_milliwatt_reset_amorphizes_crystalline_cell() {
-        let out = model().apply_pulse(
-            CellState::crystalline(),
-            PulseSpec::new(mw(5.0), ns(60.0)),
-        );
+        let out = model().apply_pulse(CellState::crystalline(), PulseSpec::new(mw(5.0), ns(60.0)));
         assert!(out.melted);
         assert!(
             out.state.crystalline_fraction < 0.05,
@@ -531,7 +533,10 @@ mod tests {
             assert!(!out.melted, "1 mW pulse must never melt");
             last = out.state.crystalline_fraction;
         }
-        assert!(last > 0.5, "240 ns @ 1 mW should crystallize deeply, got {last}");
+        assert!(
+            last > 0.5,
+            "240 ns @ 1 mW should crystallize deeply, got {last}"
+        );
     }
 
     #[test]
@@ -584,7 +589,10 @@ mod tests {
         // untouched — the isolation property COMET relies on.
         let m = model();
         for start in [0.0, 0.4, 0.8] {
-            let out = m.apply_pulse(CellState::at_fraction(start), PulseSpec::new(mw(0.1), ns(10.0)));
+            let out = m.apply_pulse(
+                CellState::at_fraction(start),
+                PulseSpec::new(mw(0.1), ns(10.0)),
+            );
             assert!(
                 (out.state.crystalline_fraction - start).abs() < 1e-3,
                 "read disturbed state: {} -> {}",

@@ -8,8 +8,8 @@
 
 use comet_units::{Length, Power, Time};
 use opcm_phys::{
-    c_band_end, c_band_start, effective_index, lorentz_lorenz_mix, CellGeometry,
-    CellOpticalModel, CellState, CellThermalModel, PcmKind, Phase, PulseSpec,
+    c_band_end, c_band_start, effective_index, lorentz_lorenz_mix, CellGeometry, CellOpticalModel,
+    CellState, CellThermalModel, PcmKind, Phase, PulseSpec,
 };
 use proptest::prelude::*;
 

@@ -161,7 +161,10 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(format!("{}", Frequency::from_terahertz(193.0)), "193.000 THz");
+        assert_eq!(
+            format!("{}", Frequency::from_terahertz(193.0)),
+            "193.000 THz"
+        );
         assert_eq!(format!("{}", Frequency::from_gigahertz(1.2)), "1.200 GHz");
     }
 }

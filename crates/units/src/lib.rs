@@ -49,7 +49,7 @@ mod time;
 pub use energy::Energy;
 pub use frequency::Frequency;
 pub use length::Length;
-pub use optical::{Decibels, DecibelMilliwatts, Transmittance};
+pub use optical::{DecibelMilliwatts, Decibels, Transmittance};
 pub use power::Power;
 pub use rate::{BitCount, ByteCount, DataRate, EnergyPerBit};
 pub use temperature::{Temperature, TemperatureDelta};

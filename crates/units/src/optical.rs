@@ -43,7 +43,10 @@ impl Decibels {
     ///
     /// Panics if `ratio` is not strictly positive.
     pub fn from_linear(ratio: f64) -> Self {
-        assert!(ratio > 0.0, "linear power ratio must be positive, got {ratio}");
+        assert!(
+            ratio > 0.0,
+            "linear power ratio must be positive, got {ratio}"
+        );
         Decibels(-10.0 * ratio.log10())
     }
 

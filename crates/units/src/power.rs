@@ -82,7 +82,10 @@ impl Power {
     ///
     /// Panics if either power is non-positive.
     pub fn ratio_to(self, reference: Power) -> Decibels {
-        assert!(self.0 > 0.0 && reference.0 > 0.0, "power ratio requires positive powers");
+        assert!(
+            self.0 > 0.0 && reference.0 > 0.0,
+            "power ratio requires positive powers"
+        );
         Decibels::new(10.0 * (reference.0 / self.0).log10())
     }
 

@@ -38,7 +38,7 @@ impl BitCount {
 
     /// Converts to whole bytes, rounding up.
     pub const fn to_bytes_ceil(self) -> ByteCount {
-        ByteCount((self.0 + 7) / 8)
+        ByteCount(self.0.div_ceil(8))
     }
 
     /// Expresses the count in gigabits (10^9 bits).

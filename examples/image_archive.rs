@@ -11,11 +11,16 @@ use cosmos::{run_corruption_experiment, CosmosConfig, TestImage};
 fn render_error_map(rates: &[f64]) -> String {
     rates
         .iter()
-        .map(|&r| match r {
-            r if r == 0.0 => '.',
-            r if r < 0.25 => '-',
-            r if r < 0.75 => '+',
-            _ => '#',
+        .map(|&r| {
+            if r == 0.0 {
+                '.'
+            } else if r < 0.25 {
+                '-'
+            } else if r < 0.75 {
+                '+'
+            } else {
+                '#'
+            }
         })
         .collect()
 }
@@ -51,7 +56,7 @@ fn main() {
     comet.write(0, &image.pixels);
     for k in 0..4u64 {
         let aggressor = vec![(k * 13 % 251) as u8; 256];
-        comet.write(1 << 21 | k * 256, &aggressor);
+        comet.write((1 << 21) | (k * 256), &aggressor);
     }
     let back = comet.read(0, image.pixels.len());
     let errors = image

@@ -25,15 +25,24 @@ fn main() {
     // --- Readout reliability.
     let rel = ReadoutReliability::new(config.clone());
     println!("readout:");
-    println!("  worst-row level error per read : {:.2e}", rel.worst_row_error());
-    println!("  mean-row  level error per read : {:.2e}", rel.mean_row_error());
+    println!(
+        "  worst-row level error per read : {:.2e}",
+        rel.worst_row_error()
+    );
+    println!(
+        "  mean-row  level error per read : {:.2e}",
+        rel.mean_row_error()
+    );
 
     // --- Retention and scrubbing.
     let drift = DriftModel::default();
     let scrub = drift.scrub_interval(config.bits_per_cell);
     let lines = config.capacity().value() / config.cache_line.value();
     println!("\nretention:");
-    println!("  drift scrub interval           : {:.1} days", scrub.as_seconds() / 86_400.0);
+    println!(
+        "  drift scrub interval           : {:.1} days",
+        scrub.as_seconds() / 86_400.0
+    );
     println!(
         "  scrub read rate                : {:.1} lines/s over {} lines",
         lines as f64 / scrub.as_seconds(),
@@ -46,7 +55,11 @@ fn main() {
     let mut direct = WearTracker::new(config.subarray_rows);
     let mut leveled = WearTracker::new(sg.physical_rows());
     for i in 0..1_000_000u64 {
-        let row = if i % 10 != 0 { i % 4 } else { i % config.subarray_rows };
+        let row = if i % 10 != 0 {
+            i % 4
+        } else {
+            i % config.subarray_rows
+        };
         direct.record(row);
         leveled.record(sg.write(row));
     }
@@ -79,7 +92,11 @@ fn main() {
                 MemRequest::new(
                     i,
                     Time::from_nanos(i as f64 * gap_ns),
-                    if i % 5 == 0 { MemOp::Write } else { MemOp::Read },
+                    if i % 5 == 0 {
+                        MemOp::Write
+                    } else {
+                        MemOp::Read
+                    },
                     i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % (1 << 30),
                     ByteCount::new(128),
                 )
@@ -93,7 +110,11 @@ fn main() {
         };
         let static_epb = run(LaserPolicy::Static);
         let windowed = run(LaserPolicy::Windowed(WindowedPolicy::default_1us()));
-        let pick = if windowed < static_epb * 0.95 { "windowed-1us" } else { "static" };
+        let pick = if windowed < static_epb * 0.95 {
+            "windowed-1us"
+        } else {
+            "static"
+        };
         println!(
             "  interarrival {gap_ns:>7} ns: static {static_epb:>10.1} pJ/b, windowed {windowed:>10.1} pJ/b -> {pick}"
         );
@@ -101,13 +122,27 @@ fn main() {
 
     // --- Interface demux feasibility for the wavelength comb.
     let b4 = LevelBudget::for_bits(config.bits_per_cell);
-    println!("\ninterface demux ({} wavelengths/bus):", config.wavelengths());
-    for (name, order) in [("single-ring", FilterOrder::Single), ("double-ring", FilterOrder::Double)] {
-        let a = WdmCrosstalkAnalysis::new(Microring::interface_demux(), config.wavelengths() as usize, order);
+    println!(
+        "\ninterface demux ({} wavelengths/bus):",
+        config.wavelengths()
+    );
+    for (name, order) in [
+        ("single-ring", FilterOrder::Single),
+        ("double-ring", FilterOrder::Double),
+    ] {
+        let a = WdmCrosstalkAnalysis::new(
+            Microring::interface_demux(),
+            config.wavelengths() as usize,
+            order,
+        );
         println!(
             "  {name:<12}: accumulated crosstalk {:.4} -> {}",
             a.total_crosstalk(),
-            if a.within_budget(&b4) { "OK" } else { "exceeds 4-bit margin" }
+            if a.within_budget(&b4) {
+                "OK"
+            } else {
+                "exceeds 4-bit margin"
+            }
         );
     }
 }

@@ -41,7 +41,11 @@ fn main() {
     let mut device = CometDevice::new(config);
     let trace: Vec<MemRequest> = (0..100_000u64)
         .map(|i| {
-            let op = if i % 10 == 0 { MemOp::Write } else { MemOp::Read };
+            let op = if i % 10 == 0 {
+                MemOp::Write
+            } else {
+                MemOp::Read
+            };
             MemRequest::new(i, Time::ZERO, op, i * 128, ByteCount::new(128))
         })
         .collect();

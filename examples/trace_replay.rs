@@ -12,8 +12,8 @@
 use comet::{CometConfig, CometDevice};
 use cosmos::{CosmosConfig, CosmosDevice};
 use memsim::{
-    read_trace, run_simulation, spec_like_suite, write_trace, DramConfig, DramDevice,
-    EpcmConfig, EpcmDevice, MemRequest, MemoryDevice, SimConfig, TraceClock,
+    read_trace, run_simulation, spec_like_suite, write_trace, DramConfig, DramDevice, EpcmConfig,
+    EpcmDevice, MemRequest, MemoryDevice, SimConfig, TraceClock,
 };
 use std::fs::File;
 use std::io::{BufReader, BufWriter};

@@ -1,0 +1,162 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the criterion 0.5 API subset the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `sample_size`, [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — measuring wall-clock time with
+//! `std::time::Instant` and printing one line per benchmark. There are
+//! no statistical analyses, plots, or baselines; swap the workspace
+//! `criterion` entry back to the registry for those.
+//!
+//! Under `cargo test` (which runs bench targets with `--test`) each
+//! benchmark body executes exactly once, so the tier-1 suite stays fast
+//! while still smoke-testing every bench.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Entry point handed to each benchmark function.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 10,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iterations: if self.test_mode { 1 } else { self.sample_size },
+            total_nanos: 0,
+            timed_iterations: 0,
+        };
+        f(&mut bencher);
+        bencher.report(id, self.test_mode);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the timed iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let saved = self.parent.sample_size;
+        if let Some(n) = self.sample_size {
+            self.parent.sample_size = n;
+        }
+        self.parent.bench_function(&full, f);
+        self.parent.sample_size = saved;
+        self
+    }
+
+    /// Ends the group. (No-op in this shim; present for API parity.)
+    pub fn finish(self) {}
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: usize,
+    total_nanos: u128,
+    timed_iterations: usize,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly, timing every call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up call unless in single-shot test mode.
+        if self.iterations > 1 {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.total_nanos += start.elapsed().as_nanos();
+        self.timed_iterations += self.iterations;
+    }
+
+    fn report(&self, id: &str, test_mode: bool) {
+        if test_mode {
+            println!("bench {id}: ok (ran once in test mode)");
+        } else if self.timed_iterations > 0 {
+            let mean = self.total_nanos / self.timed_iterations as u128;
+            println!(
+                "bench {id}: {mean} ns/iter (mean over {} iterations)",
+                self.timed_iterations
+            );
+        } else {
+            println!("bench {id}: no iterations recorded");
+        }
+    }
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($group:ident; $($rest:tt)*) => {
+        compile_error!("the criterion shim only supports criterion_group!(name, targets...)");
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,93 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the proptest 1.x API subset the workspace's property tests
+//! use — the [`proptest!`] macro, [`strategy::Strategy`] with
+//! `prop_map`, range/tuple/[`strategy::Just`]/[`prop_oneof!`] strategies,
+//! [`collection::vec`], and the `prop_assert*`/[`prop_assume!`] macros —
+//! on top of a deterministic SplitMix64 generator seeded from the test
+//! name. There is no shrinking: a failing case panics with the case
+//! number and message, and re-running reproduces it exactly.
+//!
+//! Case count defaults to 64 per property and can be raised with the
+//! `PROPTEST_CASES` environment variable, mirroring real proptest. Swap
+//! the workspace `proptest` entry back to the registry to use the real
+//! crate (shrinking included) when network access is available.
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run(stringify!($name), |__proptest_rng| {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);)*
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+    )*};
+}
+
+/// Fallible assertion: fails the current case (with generated inputs
+/// reported by the runner) instead of unwinding immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fallible equality assertion, formatting both operands with `{:?}`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+/// Discards the current case (without counting it) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Chooses uniformly among the given strategies (all must share a value
+/// type). Weighted arms are not supported by this shim.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}

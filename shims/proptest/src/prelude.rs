@@ -1,0 +1,9 @@
+//! Glob-import surface mirroring `proptest::prelude`.
+
+pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+pub use crate::test_runner::TestCaseError;
+pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+
+/// Re-export of the crate root under the conventional `prop` alias, so
+/// `prop::collection::vec(...)` works after a prelude glob import.
+pub use crate as prop;

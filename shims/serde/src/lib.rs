@@ -1,0 +1,23 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The simulator derives `Serialize`/`Deserialize` on its config and
+//! report types so that downstream tooling can serialize them once the
+//! real `serde` is available, but no code path serializes through a data
+//! format today. This shim provides the two marker traits and re-exports
+//! the pass-through derives so the `use serde::{Deserialize, Serialize}`
+//! + `#[derive(...)]` idiom compiles unchanged in offline builds.
+//!
+//! To use the real crates.io `serde`, point the `serde` entry in the
+//! workspace `[workspace.dependencies]` table back at the registry.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+///
+/// The derive in this shim expands to nothing, so types are *not*
+/// automatically marked; the trait exists only so that bounds written
+/// against it keep compiling.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,9 +1,7 @@
 //! End-to-end integration tests spanning the whole stack: device physics →
 //! photonic circuit → architecture → trace-driven simulation.
 
-use comet::{
-    CometConfig, CometDevice, CometMemory, CometPowerModel, CometTiming, LevelCodec,
-};
+use comet::{CometConfig, CometDevice, CometMemory, CometPowerModel, CometTiming, LevelCodec};
 use comet_units::{ByteCount, Decibels, Time};
 use memsim::{run_simulation, MemOp, MemRequest, MemoryDevice, SimConfig};
 use opcm_phys::{CellThermalModel, ProgramMode, ProgramTable};
@@ -75,10 +73,7 @@ fn device_and_memory_agree_on_geometry() {
         device.topology().capacity().value() * 8,
         config.capacity_bits().value()
     );
-    assert_eq!(
-        device.topology().line_bytes,
-        config.timing.access_bytes()
-    );
+    assert_eq!(device.topology().line_bytes, config.timing.access_bytes());
 }
 
 /// Trace-driven run end-to-end: requests complete, bytes balance, energy
@@ -89,7 +84,11 @@ fn trace_run_accounting_balances() {
     let n = 5000u64;
     let trace: Vec<MemRequest> = (0..n)
         .map(|i| {
-            let op = if i % 7 == 0 { MemOp::Write } else { MemOp::Read };
+            let op = if i % 7 == 0 {
+                MemOp::Write
+            } else {
+                MemOp::Read
+            };
             MemRequest::new(
                 i,
                 Time::from_nanos(i as f64),
@@ -116,9 +115,7 @@ fn device_background_is_the_power_stack() {
     let config = CometConfig::comet_4b();
     let stack = CometPowerModel::new(config.clone()).stack();
     let device = CometDevice::new(config);
-    assert!(
-        (device.background_power().as_watts() - stack.total().as_watts()).abs() < 1e-9
-    );
+    assert!((device.background_power().as_watts() - stack.total().as_watts()).abs() < 1e-9);
 }
 
 /// Latency composition: unloaded reads observe switch-free tune + read +

@@ -94,7 +94,10 @@ fn start_gap_extends_lifetime_on_trace_traffic() {
 fn reliability_margin_matches_functional_memory() {
     let config = CometConfig::comet_4b();
     let rel = ReadoutReliability::new(config.clone());
-    assert!(rel.worst_row_error() < 1e-9, "nominal COMET-4b reads cleanly");
+    assert!(
+        rel.worst_row_error() < 1e-9,
+        "nominal COMET-4b reads cleanly"
+    );
 
     let data: Vec<u8> = (0..512).map(|i| (i * 37 % 251) as u8).collect();
 
@@ -125,8 +128,8 @@ fn scrub_traffic_is_negligible() {
     // The whole 2^21-row array must be re-read once per interval.
     let config = CometConfig::comet_4b();
     let lines = config.capacity().value() / 128;
-    let scrub_rate = lines as f64 / interval.as_seconds(); // lines/s
     // COMET sustains ~1e9 lines/s; scrubbing needs orders of magnitude less.
+    let scrub_rate = lines as f64 / interval.as_seconds(); // lines/s
     assert!(
         scrub_rate < 1e6,
         "scrub rate {scrub_rate} lines/s should be far below capability"

@@ -8,8 +8,8 @@
 use comet::{CometConfig, CometDevice, CometPowerModel};
 use cosmos::{run_corruption_experiment, CosmosConfig, CosmosDevice, CosmosPowerModel, TestImage};
 use memsim::{
-    run_simulation, spec_like_suite, DramConfig, DramDevice, EpcmConfig, EpcmDevice,
-    MemoryDevice, SimConfig, SimStats,
+    run_simulation, spec_like_suite, DramConfig, DramDevice, EpcmConfig, EpcmDevice, MemoryDevice,
+    SimConfig, SimStats,
 };
 use opcm_phys::{CellOpticalModel, PcmKind};
 
@@ -48,7 +48,11 @@ fn avg_epb(stats: &[SimStats]) -> f64 {
 }
 
 fn avg_latency(stats: &[SimStats]) -> f64 {
-    stats.iter().map(|s| s.avg_latency().as_nanos()).sum::<f64>() / stats.len() as f64
+    stats
+        .iter()
+        .map(|s| s.avg_latency().as_nanos())
+        .sum::<f64>()
+        / stats.len() as f64
 }
 
 /// Section III.A: GST is selected because it has the highest contrast.
@@ -104,13 +108,34 @@ fn claim_power_stack_comparison() {
 #[test]
 fn claim_fig9_shape() {
     let requests = 2000; // enough to converge the shape, fast enough for CI
-    let ddr3_2d = run_suite(|| Box::new(DramDevice::new(DramConfig::ddr3_1600_2d())), requests);
-    let ddr3_3d = run_suite(|| Box::new(DramDevice::new(DramConfig::ddr3_3d())), requests);
-    let ddr4_2d = run_suite(|| Box::new(DramDevice::new(DramConfig::ddr4_2400_2d())), requests);
-    let ddr4_3d = run_suite(|| Box::new(DramDevice::new(DramConfig::ddr4_3d())), requests);
-    let epcm = run_suite(|| Box::new(EpcmDevice::new(EpcmConfig::epcm_mm())), requests);
-    let cosmos = run_suite(|| Box::new(CosmosDevice::new(CosmosConfig::corrected())), requests);
-    let comet = run_suite(|| Box::new(CometDevice::new(CometConfig::comet_4b())), requests);
+    let ddr3_2d = run_suite(
+        || Box::new(DramDevice::new(DramConfig::ddr3_1600_2d())),
+        requests,
+    );
+    let ddr3_3d = run_suite(
+        || Box::new(DramDevice::new(DramConfig::ddr3_3d())),
+        requests,
+    );
+    let ddr4_2d = run_suite(
+        || Box::new(DramDevice::new(DramConfig::ddr4_2400_2d())),
+        requests,
+    );
+    let ddr4_3d = run_suite(
+        || Box::new(DramDevice::new(DramConfig::ddr4_3d())),
+        requests,
+    );
+    let epcm = run_suite(
+        || Box::new(EpcmDevice::new(EpcmConfig::epcm_mm())),
+        requests,
+    );
+    let cosmos = run_suite(
+        || Box::new(CosmosDevice::new(CosmosConfig::corrected())),
+        requests,
+    );
+    let comet = run_suite(
+        || Box::new(CometDevice::new(CometConfig::comet_4b())),
+        requests,
+    );
 
     let comet_bw = avg_bw(&comet);
     // (a) Bandwidth: photonic COMET beats every electronic baseline by a
@@ -124,7 +149,10 @@ fn claim_fig9_shape() {
         ("COSMOS", &cosmos, 4.0),
     ] {
         let r = comet_bw / avg_bw(stats);
-        assert!(r > min_ratio, "COMET/{name} bandwidth ratio {r:.1} < {min_ratio}");
+        assert!(
+            r > min_ratio,
+            "COMET/{name} bandwidth ratio {r:.1} < {min_ratio}"
+        );
     }
 
     // (b) EPB: 3D DRAMs and EPCM beat the photonic memories; COMET beats
@@ -135,7 +163,10 @@ fn claim_fig9_shape() {
     assert!(avg_epb(&epcm) < comet_epb, "EPCM wins EPB (paper)");
     assert!(comet_epb < avg_epb(&ddr3_2d), "COMET beats 2D_DDR3 EPB");
     assert!(comet_epb < avg_epb(&ddr4_2d), "COMET beats 2D_DDR4 EPB");
-    assert!(comet_epb * 5.0 < avg_epb(&cosmos), "COMET crushes COSMOS EPB");
+    assert!(
+        comet_epb * 5.0 < avg_epb(&cosmos),
+        "COMET crushes COSMOS EPB"
+    );
 
     // (c) BW/EPB: COMET tops every baseline the paper names (6.5x over
     // 3D_DDR4, 65.8x over COSMOS).
@@ -154,10 +185,9 @@ fn claim_read_path_latency() {
     let comet = CometConfig::comet_4b().timing;
     let cosmos = CosmosConfig::corrected().timing;
     let comet_read = comet.unloaded_read_latency().as_nanos();
-    let cosmos_read = (cosmos.subtractive_read_time()
-        + cosmos.burst_time() * 2.0
-        + cosmos.interface_delay)
-        .as_nanos();
+    let cosmos_read =
+        (cosmos.subtractive_read_time() + cosmos.burst_time() * 2.0 + cosmos.interface_delay)
+            .as_nanos();
     assert!(
         cosmos_read > 2.5 * (comet_read - 105.0) + 105.0,
         "COMET {comet_read} ns vs COSMOS {cosmos_read} ns"
@@ -172,7 +202,7 @@ fn claim_crosstalk_free_operation() {
     let data: Vec<u8> = (0..2048).map(|i| (i % 251) as u8).collect();
     memory.write(0, &data);
     for k in 0..64u64 {
-        memory.write((1 << 22) + k * 128, &vec![0xFF; 128]);
+        memory.write((1 << 22) + k * 128, &[0xFF; 128]);
     }
     assert_eq!(memory.read(0, data.len()), data);
 }
@@ -182,8 +212,14 @@ fn claim_crosstalk_free_operation() {
 #[test]
 fn claim_suite_differentiates() {
     let requests = 800;
-    let comet = run_suite(|| Box::new(CometDevice::new(CometConfig::comet_4b())), requests);
-    let ddr = run_suite(|| Box::new(DramDevice::new(DramConfig::ddr3_1600_2d())), requests);
+    let comet = run_suite(
+        || Box::new(CometDevice::new(CometConfig::comet_4b())),
+        requests,
+    );
+    let ddr = run_suite(
+        || Box::new(DramDevice::new(DramConfig::ddr3_1600_2d())),
+        requests,
+    );
     for (c, d) in comet.iter().zip(&ddr) {
         assert!(
             c.bandwidth().as_gigabytes_per_second() > d.bandwidth().as_gigabytes_per_second(),
