@@ -1,0 +1,51 @@
+//! Criterion benches over the `comet-lab` campaign runner.
+//!
+//! The sharding bench runs the same 12-cell grid at 1, 2 and 4 worker
+//! threads: on a multi-core host the wall-clock per campaign should fall
+//! near-linearly until the core count is exhausted (the cells are
+//! independent and the runner is a plain work queue), while on a single
+//! core all three points cost the same — which is itself the evidence that
+//! sharding adds no overhead.
+
+use comet_lab::{device_by_name, run_campaign, workloads_by_name, CampaignSpec, WorkloadSource};
+use criterion::{criterion_group, criterion_main, Criterion};
+use memsim::DeviceFactory;
+use std::hint::black_box;
+
+fn grid() -> CampaignSpec {
+    let devices: Vec<Box<dyn DeviceFactory>> = ["2D_DDR3", "EPCM-MM", "COMET"]
+        .iter()
+        .map(|n| device_by_name(n).expect("registered"))
+        .collect();
+    let workloads: Vec<WorkloadSource> = ["mcf-like", "lbm-like", "gcc-like", "soplex-like"]
+        .iter()
+        .flat_map(|n| workloads_by_name(n, 1500))
+        .collect();
+    CampaignSpec::new("bench-grid", 42, devices, workloads)
+}
+
+fn bench_campaign_sharding(c: &mut Criterion) {
+    let spec = grid();
+    let mut group = c.benchmark_group("campaign/12cell_grid");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_function(&format!("threads_{threads}"), |b| {
+            b.iter(|| black_box(run_campaign(&spec, threads)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_report_export(c: &mut Criterion) {
+    let report = run_campaign(&grid(), 4);
+    c.bench_function("campaign/report_to_json", |b| {
+        b.iter(|| black_box(report.to_json()))
+    });
+    let json = report.to_json();
+    c.bench_function("campaign/report_from_json", |b| {
+        b.iter(|| black_box(comet_lab::CampaignReport::from_json(&json).expect("parses")))
+    });
+}
+
+criterion_group!(campaign, bench_campaign_sharding, bench_report_export);
+criterion_main!(campaign);

@@ -70,7 +70,19 @@ fn bench_table_generation(c: &mut Criterion) {
     let model = CellThermalModel::comet_gst();
     let mut group = c.benchmark_group("fig6/program_table");
     group.sample_size(10);
-    group.bench_function("amorphous_reset_4bit", |b| {
+    // The full pulse search (the ~26 ms hot kernel the ROADMAP flags)...
+    group.bench_function("amorphous_reset_4bit_uncached", |b| {
+        b.iter(|| {
+            black_box(
+                ProgramTable::generate_uncached(&model, ProgramMode::AmorphousReset, 4)
+                    .expect("generates"),
+            )
+        })
+    });
+    // ...versus the memoized path every repeat caller now takes (warm the
+    // memo first so the comparison isolates the hit path).
+    let _ = ProgramTable::generate(&model, ProgramMode::AmorphousReset, 4).expect("generates");
+    group.bench_function("amorphous_reset_4bit_cached", |b| {
         b.iter(|| {
             black_box(
                 ProgramTable::generate(&model, ProgramMode::AmorphousReset, 4).expect("generates"),

@@ -9,9 +9,18 @@
 //! * subarray striping ways (write-stream parallelism);
 //! * background vs inline erase;
 //! * FR-FCFS vs FCFS scheduling.
+//!
+//! The device-sweep blocks are thin wrappers over `comet-lab` campaign
+//! specs (device variants × a fixed trace), sharded across threads by
+//! `run_campaign`; only the dynamic-laser block drives the engine directly
+//! (it inspects post-run device state the campaign report does not carry).
 
 use comet::{CometConfig, CometDevice, CometPowerModel, LaserPolicy, WindowedPolicy};
 use comet_bench::{header, Table};
+use comet_lab::{
+    comet_variant, default_threads, run_campaign, CampaignSpec, CellReport, EnginePoint,
+    WorkloadSource,
+};
 use comet_units::{ByteCount, Decibels, Time};
 use memsim::{run_simulation, MemOp, MemRequest, ReplayMode, Scheduler, SimConfig};
 use photonic::{Laser, MrTuning, OpticalParams};
@@ -36,20 +45,31 @@ fn mixed_trace(n: u64, write_period: u64) -> Vec<MemRequest> {
         .collect()
 }
 
-fn run(cfg: CometConfig, trace: &[MemRequest], sched: Scheduler) -> (f64, f64) {
-    let mut dev = CometDevice::new(cfg);
-    let stats = run_simulation(
-        &mut dev,
-        trace,
-        &SimConfig {
-            scheduler: sched,
-            replay: ReplayMode::Paced,
-            workload: "ablation".into(),
-        },
+/// Runs COMET-variant devices against one fixed trace as a sharded
+/// campaign and returns the cells in device order.
+fn variant_campaign(
+    name: &str,
+    devices: Vec<(String, CometConfig)>,
+    workload: &WorkloadSource,
+    engines: Vec<EnginePoint>,
+) -> Vec<CellReport> {
+    let mut spec = CampaignSpec::new(
+        name,
+        0,
+        devices
+            .into_iter()
+            .map(|(label, cfg)| comet_variant(&label, cfg))
+            .collect(),
+        vec![workload.clone()],
     );
+    spec.engines = engines;
+    run_campaign(&spec, default_threads()).cells
+}
+
+fn bw_lat(cell: &CellReport) -> (f64, f64) {
     (
-        stats.bandwidth().as_gigabytes_per_second(),
-        stats.avg_latency().as_nanos(),
+        cell.stats.bandwidth().as_gigabytes_per_second(),
+        cell.stats.avg_latency().as_nanos(),
     )
 }
 
@@ -61,7 +81,7 @@ fn main() {
          III.C-E)",
     );
 
-    let trace = mixed_trace(20_000, 5);
+    let mixed = WorkloadSource::trace("mixed", mixed_trace(20_000, 5));
 
     // --- MR tuning mechanism: access latency impact.
     println!("## MR tuning mechanism (per-access row gating)");
@@ -103,11 +123,24 @@ fn main() {
     // --- Bit density.
     println!("## bit density (power vs capacity-normalized cost)");
     let mut density = Table::new(vec!["config", "total_power_W", "bandwidth_GBs"]);
-    for cfg in CometConfig::bit_density_sweep() {
-        let name = format!("COMET-{}b", cfg.bits_per_cell);
+    let sweep = CometConfig::bit_density_sweep();
+    let cells = variant_campaign(
+        "bit-density",
+        sweep
+            .iter()
+            .map(|cfg| (format!("COMET-{}b", cfg.bits_per_cell), cfg.clone()))
+            .collect(),
+        &mixed,
+        vec![EnginePoint::paced()],
+    );
+    for (cfg, cell) in sweep.iter().zip(&cells) {
         let power = CometPowerModel::new(cfg.clone()).stack().total().as_watts();
-        let (bw, _) = run(cfg, &trace, Scheduler::default());
-        density.row(vec![name, format!("{power:.1}"), format!("{bw:.1}")]);
+        let (bw, _) = bw_lat(cell);
+        density.row(vec![
+            cell.device.clone(),
+            format!("{power:.1}"),
+            format!("{bw:.1}"),
+        ]);
     }
     density.print();
 
@@ -129,10 +162,22 @@ fn main() {
         })
         .collect();
     let mut stripe_table = Table::new(vec!["stripe_ways", "stream_bw_GBs", "avg_latency_ns"]);
-    for stripe in [1u64, 4, 16, 64, 256] {
-        let mut cfg = CometConfig::comet_4b();
-        cfg.subarray_stripe = stripe;
-        let (bw, lat) = run(cfg, &stream_writes, Scheduler::default());
+    let stripes = [1u64, 4, 16, 64, 256];
+    let cells = variant_campaign(
+        "striping",
+        stripes
+            .iter()
+            .map(|&stripe| {
+                let mut cfg = CometConfig::comet_4b();
+                cfg.subarray_stripe = stripe;
+                (format!("stripe-{stripe}"), cfg)
+            })
+            .collect(),
+        &WorkloadSource::trace("stream", stream_writes),
+        vec![EnginePoint::paced()],
+    );
+    for (stripe, cell) in stripes.iter().zip(&cells) {
+        let (bw, lat) = bw_lat(cell);
         stripe_table.row(vec![
             stripe.to_string(),
             format!("{bw:.1}"),
@@ -144,28 +189,49 @@ fn main() {
     // --- Erase policy.
     println!("## erase policy");
     let mut erase = Table::new(vec!["policy", "bw_GBs", "avg_latency_ns"]);
-    for (name, background) in [("background-erase", true), ("inline-erase", false)] {
-        let mut cfg = CometConfig::comet_4b();
-        cfg.timing.background_erase = background;
-        let (bw, lat) = run(cfg, &trace, Scheduler::default());
+    let cells = variant_campaign(
+        "erase-policy",
+        [("background-erase", true), ("inline-erase", false)]
+            .iter()
+            .map(|&(name, background)| {
+                let mut cfg = CometConfig::comet_4b();
+                cfg.timing.background_erase = background;
+                (name.to_string(), cfg)
+            })
+            .collect(),
+        &mixed,
+        vec![EnginePoint::paced()],
+    );
+    for cell in &cells {
+        let (bw, lat) = bw_lat(cell);
         erase.row(vec![
-            name.to_string(),
+            cell.device.clone(),
             format!("{bw:.1}"),
             format!("{lat:.0}"),
         ]);
     }
     erase.print();
 
-    // --- Scheduler.
+    // --- Scheduler (an engine-axis campaign: one device, two points).
     println!("## scheduler");
     let mut sched = Table::new(vec!["scheduler", "bw_GBs", "avg_latency_ns"]);
-    for (name, s) in [
-        ("FR-FCFS(8)", Scheduler::FrFcfs { window: 8 }),
-        ("FCFS", Scheduler::Fcfs),
-    ] {
-        let (bw, lat) = run(CometConfig::comet_4b(), &trace, s);
+    let cells = variant_campaign(
+        "scheduler",
+        vec![("COMET".to_string(), CometConfig::comet_4b())],
+        &mixed,
+        vec![
+            EnginePoint::new(
+                "FR-FCFS(8)",
+                Scheduler::FrFcfs { window: 8 },
+                ReplayMode::Paced,
+            ),
+            EnginePoint::new("FCFS", Scheduler::Fcfs, ReplayMode::Paced),
+        ],
+    );
+    for cell in &cells {
+        let (bw, lat) = bw_lat(cell);
         sched.row(vec![
-            name.to_string(),
+            cell.engine.clone(),
             format!("{bw:.1}"),
             format!("{lat:.0}"),
         ]);

@@ -1,25 +1,17 @@
 //! Fig. 9 — average bandwidth, EPB and BW/EPB of all seven memory systems
 //! across the SPEC-like workload suite.
 //!
-//! Every device replays the same workload profiles (traces sized to its
-//! native cache line so equal bytes move through each system), through the
-//! same controller/engine. Pass `--requests N` to change the trace length
-//! (default 6000) and `--seed S` for a different trace instantiation.
+//! A thin wrapper over a `comet-lab` campaign: the seven devices × eight
+//! workloads grid is a [`CampaignSpec`] sharded across threads by
+//! [`run_campaign`] (traces are sized to each device's native line by the
+//! campaign's line normalization, so equal bytes move through each
+//! system). Pass `--requests N` to change the trace length (default 6000),
+//! `--seed S` for a different trace instantiation and `--threads T` to
+//! control sharding (the results are identical for any thread count).
 
-use comet::{CometConfig, CometDevice};
 use comet_bench::{header, ratio, Table};
-use cosmos::{CosmosConfig, CosmosDevice};
-use memsim::{
-    run_simulation, spec_like_suite, DramConfig, DramDevice, EpcmConfig, EpcmDevice, MemoryDevice,
-    SimConfig, SimStats,
-};
-
-struct Summary {
-    name: String,
-    bw_gbs: f64,
-    epb_pjb: f64,
-    avg_latency_ns: f64,
-}
+use comet_lab::{default_threads, fig9_device_axis, run_campaign, CampaignSpec, WorkloadSource};
+use memsim::spec_like_suite;
 
 fn parse_flag(args: &[String], flag: &str, default: u64) -> u64 {
     args.iter()
@@ -33,6 +25,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let requests = parse_flag(&args, "--requests", 6000) as usize;
     let seed = parse_flag(&args, "--seed", 42);
+    let threads = parse_flag(&args, "--threads", default_threads() as u64) as usize;
 
     header(
         "fig9",
@@ -42,17 +35,17 @@ fn main() {
          (Section IV.C)",
     );
 
-    let device_factories: Vec<Box<dyn Fn() -> Box<dyn MemoryDevice>>> = vec![
-        Box::new(|| Box::new(DramDevice::new(DramConfig::ddr3_1600_2d()))),
-        Box::new(|| Box::new(DramDevice::new(DramConfig::ddr3_3d()))),
-        Box::new(|| Box::new(DramDevice::new(DramConfig::ddr4_2400_2d()))),
-        Box::new(|| Box::new(DramDevice::new(DramConfig::ddr4_3d()))),
-        Box::new(|| Box::new(EpcmDevice::new(EpcmConfig::epcm_mm()))),
-        Box::new(|| Box::new(CosmosDevice::new(CosmosConfig::corrected()))),
-        Box::new(|| Box::new(CometDevice::new(CometConfig::comet_4b()))),
-    ];
+    let spec = CampaignSpec::new(
+        "fig9",
+        seed,
+        fig9_device_axis(),
+        spec_like_suite(requests)
+            .into_iter()
+            .map(WorkloadSource::Profile)
+            .collect(),
+    );
+    let report = run_campaign(&spec, threads);
 
-    let suite = spec_like_suite(requests);
     let mut per_workload = Table::new(vec![
         "device",
         "workload",
@@ -63,57 +56,25 @@ fn main() {
         "p99_latency_ns",
         "bw_per_epb",
     ]);
-    let mut summaries: Vec<Summary> = Vec::new();
-
-    for factory in &device_factories {
-        let mut all_stats: Vec<SimStats> = Vec::new();
-        for profile in &suite {
-            let mut device = factory();
-            // Size requests to the device's native line so every system
-            // moves the same bytes.
-            let mut profile = profile.clone();
-            let line = device.topology().line_bytes;
-            profile.line_bytes = line;
-            profile.requests = requests * 64 / line as usize;
-            let trace = profile.generate(seed);
-            let stats = run_simulation(device.as_mut(), &trace, &SimConfig::paced(&profile.name));
-            per_workload.row(vec![
-                stats.device.clone(),
-                stats.workload.clone(),
-                format!("{:.3}", stats.bandwidth().as_gigabytes_per_second()),
-                format!("{:.2}", stats.energy_per_bit().as_picojoules_per_bit()),
-                format!("{:.1}", stats.avg_latency().as_nanos()),
-                format!("{:.0}", stats.histogram.percentile(50.0).as_nanos()),
-                format!("{:.0}", stats.histogram.percentile(99.0).as_nanos()),
-                format!("{:.4}", stats.bandwidth_per_epb()),
-            ]);
-            all_stats.push(stats);
-        }
-        let n = all_stats.len() as f64;
-        summaries.push(Summary {
-            name: all_stats[0].device.clone(),
-            bw_gbs: all_stats
-                .iter()
-                .map(|s| s.bandwidth().as_gigabytes_per_second())
-                .sum::<f64>()
-                / n,
-            epb_pjb: all_stats
-                .iter()
-                .map(|s| s.energy_per_bit().as_picojoules_per_bit())
-                .sum::<f64>()
-                / n,
-            avg_latency_ns: all_stats
-                .iter()
-                .map(|s| s.avg_latency().as_nanos())
-                .sum::<f64>()
-                / n,
-        });
+    for cell in &report.cells {
+        let stats = &cell.stats;
+        per_workload.row(vec![
+            stats.device.clone(),
+            stats.workload.clone(),
+            format!("{:.3}", stats.bandwidth().as_gigabytes_per_second()),
+            format!("{:.2}", stats.energy_per_bit().as_picojoules_per_bit()),
+            format!("{:.1}", stats.avg_latency().as_nanos()),
+            format!("{:.0}", stats.histogram.percentile(50.0).as_nanos()),
+            format!("{:.0}", stats.histogram.percentile(99.0).as_nanos()),
+            format!("{:.4}", stats.bandwidth_per_epb()),
+        ]);
     }
 
     println!("## per-workload results");
     per_workload.print();
 
     println!("## Fig. 9 averages");
+    let summaries = report.device_summaries();
     let mut avg = Table::new(vec![
         "device",
         "avg_bandwidth_GBs",
@@ -123,11 +84,11 @@ fn main() {
     ]);
     for s in &summaries {
         avg.row(vec![
-            s.name.clone(),
-            format!("{:.3}", s.bw_gbs),
-            format!("{:.2}", s.epb_pjb),
+            s.device.clone(),
+            format!("{:.3}", s.avg_bandwidth_gbs),
+            format!("{:.2}", s.avg_epb_pjb),
             format!("{:.1}", s.avg_latency_ns),
-            format!("{:.4}", s.bw_gbs / s.epb_pjb),
+            format!("{:.4}", s.bw_per_epb()),
         ]);
     }
     avg.print();
@@ -145,9 +106,9 @@ fn main() {
     for (s, (name, quote)) in summaries.iter().zip(paper.iter()) {
         println!(
             "# vs {name}: BW {}, EPB {}, BW/EPB {}, latency {} (paper: {quote})",
-            ratio(comet.bw_gbs, s.bw_gbs),
-            ratio(s.epb_pjb, comet.epb_pjb),
-            ratio(comet.bw_gbs / comet.epb_pjb, s.bw_gbs / s.epb_pjb),
+            ratio(comet.avg_bandwidth_gbs, s.avg_bandwidth_gbs),
+            ratio(s.avg_epb_pjb, comet.avg_epb_pjb),
+            ratio(comet.bw_per_epb(), s.bw_per_epb()),
             ratio(s.avg_latency_ns, comet.avg_latency_ns),
         );
     }

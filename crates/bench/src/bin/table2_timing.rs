@@ -68,16 +68,47 @@ fn main() {
     ]);
     t.print();
 
-    // Cross-check: derive the COMET budget from the device physics.
+    // Cross-check: derive the COMET budget from the device physics, and
+    // document (rather than silently print) where the semi-analytic model
+    // diverges from Table II.
     let model = CellThermalModel::comet_gst();
     let table = ProgramTable::generate(&model, ProgramMode::AmorphousReset, 4)
         .expect("physics-layer programming table");
     let derived = CometTiming::from_program_table(&table);
+
+    println!("## physics cross-check vs Table II (documented divergence)");
+    let mut xc = Table::new(vec!["parameter", "derived_ns", "paper_ns", "ratio"]);
+    let write_ns = derived.max_write_time.as_nanos();
+    let erase_ns = derived.erase_time.as_nanos();
+    xc.row(vec![
+        "max write time".to_string(),
+        format!("{write_ns:.0}"),
+        "170".to_string(),
+        format!("{:.2}x", write_ns / 170.0),
+    ])
+    .row(vec![
+        "erase time".to_string(),
+        format!("{erase_ns:.0}"),
+        "210".to_string(),
+        format!("{:.2}x", erase_ns / 210.0),
+    ]);
+    xc.print();
+
     println!(
-        "# physics cross-check (Fig. 6 table): max write {:.0} ns (Table II: 170), \
-         erase {:.0} ns (Table II: 210)",
-        derived.max_write_time.as_nanos(),
-        derived.erase_time.as_nanos()
+        "# divergence rationale (known, accepted — see ROADMAP):\n\
+         #  * max write: the lumped model's Gaussian crystallization kinetics\n\
+         #    slow asymptotically near full crystallinity, so the deepest\n\
+         #    level's pulse stretches to ~{write_ns:.0} ns where the paper's\n\
+         #    measured Fig. 6 table tops out at 170 ns. The divergence is the\n\
+         #    kinetics *tail shape*, not the ns-decade: mid-table levels match.\n\
+         #  * erase: the single-node model melts the whole film the moment the\n\
+         #    plateau is crossed (~{erase_ns:.0} ns at 5 mW guarantees amorphization\n\
+         #    from any start state); the paper's 210 ns budgets a distributed\n\
+         #    melt front plus quench margin that a lumped node cannot represent.\n\
+         #  * the architecture layer deliberately uses the Table II constants\n\
+         #    (CometTiming::table_ii) for evaluation, so this divergence does\n\
+         #    not leak into Fig. 9/10 results; from_program_table exists to\n\
+         #    study the sensitivity."
     );
     println!(
         "# unloaded COMET read latency: {:.0} ns (2 tune + 10 read + 4 burst + 105 interface)",

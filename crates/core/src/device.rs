@@ -33,7 +33,7 @@ use crate::laser::{LaserPolicy, LaserPowerManager};
 use crate::mapping::AddressMapper;
 use crate::power::CometPowerModel;
 use comet_units::{Energy, Power, Time};
-use memsim::{AccessTiming, DecodedAddress, MemOp, MemoryDevice, Topology};
+use memsim::{AccessTiming, DecodedAddress, DeviceFactory, MemOp, MemoryDevice, Topology};
 use std::collections::{HashMap, VecDeque};
 
 /// Concurrently-latched GST subarray switches per bank (LRU-evicted).
@@ -170,6 +170,16 @@ impl CometDevice {
         let mut loc = *loc;
         loc.row = self.physical_row(loc.row);
         self.mapper.map(loc).subarray
+    }
+}
+
+impl DeviceFactory for CometConfig {
+    fn device_name(&self) -> String {
+        "COMET".into()
+    }
+
+    fn build(&self) -> Box<dyn MemoryDevice> {
+        Box::new(CometDevice::new(self.clone()))
     }
 }
 

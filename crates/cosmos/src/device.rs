@@ -19,7 +19,7 @@
 use crate::arch::CosmosConfig;
 use crate::power::CosmosPowerModel;
 use comet_units::{Energy, Power, Time};
-use memsim::{AccessTiming, DecodedAddress, MemOp, MemoryDevice, Topology};
+use memsim::{AccessTiming, DecodedAddress, DeviceFactory, MemOp, MemoryDevice, Topology};
 use std::collections::HashMap;
 
 /// The COSMOS timing/energy device.
@@ -69,6 +69,16 @@ impl CosmosDevice {
 
     fn subarray_row_of(&self, loc: &DecodedAddress) -> u64 {
         loc.row / self.config.subarray_side
+    }
+}
+
+impl DeviceFactory for CosmosConfig {
+    fn device_name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn build(&self) -> Box<dyn MemoryDevice> {
+        Box::new(CosmosDevice::new(self.clone()))
     }
 }
 

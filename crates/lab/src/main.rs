@@ -1,0 +1,231 @@
+//! The `comet-lab` CLI: run an experiment campaign and export results.
+//!
+//! ```text
+//! comet-lab [--devices A,B,..] [--workloads all|name,..] [--requests N]
+//!           [--seed S] [--replicates R] [--engine paced|saturation|both]
+//!           [--threads T] [--name NAME] [--out DIR] [--list]
+//! ```
+//!
+//! Writes `DIR/NAME.json` and `DIR/NAME.csv`, then re-parses the JSON and
+//! verifies it reconstructs the in-memory report exactly (so a zero exit
+//! code certifies the export round-trips). The report content is
+//! independent of `--threads`.
+
+use comet_lab::{
+    default_threads, device_by_name, device_names, run_campaign, workload_names, workloads_by_name,
+    CampaignReport, CampaignSpec, EnginePoint, WorkloadSource,
+};
+use memsim::DeviceFactory;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    devices: Vec<String>,
+    workloads: Vec<String>,
+    requests: usize,
+    seed: u64,
+    replicates: usize,
+    engine: String,
+    threads: usize,
+    name: String,
+    out: String,
+    list: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        devices: vec!["2D_DDR3".into(), "EPCM-MM".into(), "COMET".into()],
+        workloads: vec!["all".into()],
+        requests: 2000,
+        seed: 42,
+        replicates: 1,
+        engine: "paced".into(),
+        threads: default_threads(),
+        name: "campaign".into(),
+        out: "results".into(),
+        list: false,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a {what}"))
+        };
+        match flag.as_str() {
+            "--devices" => {
+                args.devices = value("comma list")?.split(',').map(String::from).collect()
+            }
+            "--workloads" => {
+                args.workloads = value("comma list")?.split(',').map(String::from).collect()
+            }
+            "--requests" => {
+                args.requests = value("count")?
+                    .parse()
+                    .map_err(|e| format!("--requests: {e}"))?
+            }
+            "--seed" => args.seed = value("seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--replicates" => {
+                args.replicates = value("count")?
+                    .parse()
+                    .map_err(|e| format!("--replicates: {e}"))?
+            }
+            "--engine" => args.engine = value("mode")?,
+            "--threads" => {
+                args.threads = value("count")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--name" => args.name = value("name")?,
+            "--out" => args.out = value("dir")?,
+            "--list" => args.list = true,
+            "--help" | "-h" => return Err("help".into()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+const USAGE: &str =
+    "usage: comet-lab [--devices A,B,..] [--workloads all|name,..] [--requests N]\n\
+                 [--seed S] [--replicates R] [--engine paced|saturation|both]\n\
+                 [--threads T] [--name NAME] [--out DIR] [--list]";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        // Requested help goes to stdout and exits 0; errors go to stderr
+        // and exit 2.
+        Err(e) if e == "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("comet-lab: {e}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list {
+        println!("devices:");
+        for d in device_names() {
+            println!("  {d}");
+        }
+        println!("workloads (plus 'all'):");
+        for w in workload_names() {
+            println!("  {w}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut devices: Vec<Box<dyn DeviceFactory>> = Vec::new();
+    for name in &args.devices {
+        match device_by_name(name) {
+            Some(f) => devices.push(f),
+            None => {
+                eprintln!("comet-lab: unknown device '{name}' (try --list)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut workloads: Vec<WorkloadSource> = Vec::new();
+    for name in &args.workloads {
+        let mut found = workloads_by_name(name, args.requests);
+        if found.is_empty() {
+            eprintln!("comet-lab: unknown workload '{name}' (try --list)");
+            return ExitCode::from(2);
+        }
+        workloads.append(&mut found);
+    }
+
+    let engines = match args.engine.as_str() {
+        "paced" => vec![EnginePoint::paced()],
+        "saturation" => vec![EnginePoint::saturation()],
+        "both" => vec![EnginePoint::paced(), EnginePoint::saturation()],
+        other => {
+            eprintln!("comet-lab: unknown engine '{other}' (paced|saturation|both)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut spec = CampaignSpec::new(&args.name, args.seed, devices, workloads);
+    spec.replicates = args.replicates.max(1);
+    spec.engines = engines;
+
+    let cells = spec.cells();
+    println!(
+        "# campaign '{}': {} cells ({} devices x {} workloads x {} engines x {} replicates) on {} threads",
+        args.name,
+        cells,
+        spec.devices.len(),
+        spec.workloads.len(),
+        spec.engines.len(),
+        spec.replicates,
+        args.threads,
+    );
+
+    let started = Instant::now();
+    let report = run_campaign(&spec, args.threads);
+    let elapsed = started.elapsed();
+    println!(
+        "# ran {} cells in {:.2} s ({:.1} cells/s)",
+        cells,
+        elapsed.as_secs_f64(),
+        cells as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+
+    for summary in report.device_summaries() {
+        println!(
+            "# {}: avg BW {:.3} GB/s, avg EPB {:.2} pJ/b, avg latency {:.1} ns over {} cells",
+            summary.device,
+            summary.avg_bandwidth_gbs,
+            summary.avg_epb_pjb,
+            summary.avg_latency_ns,
+            summary.cells,
+        );
+    }
+
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("comet-lab: cannot create {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    let json_path = format!("{}/{}.json", args.out, args.name);
+    let csv_path = format!("{}/{}.csv", args.out, args.name);
+    let json = report.to_json();
+    if let Err(e) = std::fs::write(&json_path, &json) {
+        eprintln!("comet-lab: cannot write {json_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&csv_path, report.to_csv()) {
+        eprintln!("comet-lab: cannot write {csv_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    // Self-check: the exported JSON must reconstruct the report exactly.
+    let reread = match std::fs::read_to_string(&json_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("comet-lab: cannot re-read {json_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match CampaignReport::from_json(&reread) {
+        Ok(back) if back == report => {
+            println!(
+                "# wrote {json_path} and {csv_path}; JSON parse-back verified ({cells} cells)"
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(_) => {
+            eprintln!("comet-lab: parse-back mismatch in {json_path}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("comet-lab: exported JSON does not parse: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Named device and workload registries for declarative campaign assembly.
+//!
+//! The CLI (and any spec written by name rather than by constructor) looks
+//! devices and workloads up here. Device names match the report names the
+//! paper's Fig. 9 uses; workload names are the SPEC-like suite of
+//! `memsim::spec_like_suite` plus `"all"`.
+
+use crate::spec::WorkloadSource;
+use comet::CometConfig;
+use cosmos::CosmosConfig;
+use memsim::{spec_like_suite, DeviceFactory, DramConfig, EpcmConfig, FnFactory};
+
+/// The seven memory systems of the paper's Fig. 9 evaluation, in its
+/// canonical order.
+pub const FIG9_DEVICES: [&str; 7] = [
+    "2D_DDR3", "3D_DDR3", "2D_DDR4", "3D_DDR4", "EPCM-MM", "COSMOS", "COMET",
+];
+
+/// All registered device names: the Fig. 9 seven plus the COMET
+/// bit-density variants.
+pub fn device_names() -> Vec<&'static str> {
+    let mut names = FIG9_DEVICES.to_vec();
+    names.extend(["COMET-1b", "COMET-2b", "COMET-4b"]);
+    names
+}
+
+/// Builds the factory registered under `name`, or `None` for unknown names.
+pub fn device_by_name(name: &str) -> Option<Box<dyn DeviceFactory>> {
+    Some(match name {
+        "2D_DDR3" => Box::new(DramConfig::ddr3_1600_2d()),
+        "3D_DDR3" => Box::new(DramConfig::ddr3_3d()),
+        "2D_DDR4" => Box::new(DramConfig::ddr4_2400_2d()),
+        "3D_DDR4" => Box::new(DramConfig::ddr4_3d()),
+        "EPCM-MM" => Box::new(EpcmConfig::epcm_mm()),
+        "COSMOS" => Box::new(CosmosConfig::corrected()),
+        "COMET" => Box::new(CometConfig::comet_4b()),
+        // Bit-density variants report under their variant name.
+        "COMET-1b" => comet_variant("COMET-1b", CometConfig::comet_1b()),
+        "COMET-2b" => comet_variant("COMET-2b", CometConfig::comet_2b()),
+        "COMET-4b" => comet_variant("COMET-4b", CometConfig::comet_4b()),
+        _ => return None,
+    })
+}
+
+/// A COMET config as a factory reporting under an explicit variant label.
+pub fn comet_variant(label: &str, config: CometConfig) -> Box<dyn DeviceFactory> {
+    Box::new(FnFactory::new(label, move || {
+        Box::new(comet::CometDevice::new(config.clone()))
+    }))
+}
+
+/// The Fig. 9 device axis, in paper order.
+pub fn fig9_device_axis() -> Vec<Box<dyn DeviceFactory>> {
+    FIG9_DEVICES
+        .iter()
+        .map(|n| device_by_name(n).expect("registry covers its own names"))
+        .collect()
+}
+
+/// Resolves a workload name against the SPEC-like suite sized to
+/// `requests`. `"all"` yields the whole suite.
+pub fn workloads_by_name(name: &str, requests: usize) -> Vec<WorkloadSource> {
+    let suite = spec_like_suite(requests);
+    if name == "all" {
+        return suite.into_iter().map(WorkloadSource::Profile).collect();
+    }
+    suite
+        .into_iter()
+        .filter(|p| p.name == name)
+        .map(WorkloadSource::Profile)
+        .collect()
+}
+
+/// The names of the SPEC-like workload suite.
+pub fn workload_names() -> Vec<String> {
+    spec_like_suite(1).into_iter().map(|p| p.name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_name_builds_and_labels_consistently() {
+        for name in device_names() {
+            let f = device_by_name(name).expect(name);
+            assert_eq!(f.device_name(), name, "factory label");
+            let dev = f.build();
+            assert!(dev.topology().line_bytes > 0, "{name} builds");
+        }
+        assert!(device_by_name("NVRAM-9000").is_none());
+    }
+
+    #[test]
+    fn fig9_axis_is_the_paper_order() {
+        let axis = fig9_device_axis();
+        let names: Vec<String> = axis.iter().map(|f| f.device_name()).collect();
+        assert_eq!(names, FIG9_DEVICES);
+    }
+
+    #[test]
+    fn workload_lookup() {
+        assert_eq!(workloads_by_name("all", 10).len(), 8);
+        let one = workloads_by_name("mcf-like", 10);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].name(), "mcf-like");
+        assert!(workloads_by_name("spec2077-like", 10).is_empty());
+        assert_eq!(workload_names().len(), 8);
+    }
+}

@@ -56,7 +56,11 @@ pub struct AccessTiming {
 /// Implementations are stateful (`&mut self`) — they track open rows,
 /// refresh deadlines and erase state internally. `access` is always called
 /// with a monotonically non-decreasing `issue` time per bank.
-pub trait MemoryDevice {
+///
+/// The `Send` supertrait lets sharded runners (the `comet-lab` campaign
+/// subsystem) move boxed devices onto worker threads; device models are
+/// plain data, so the bound costs implementations nothing.
+pub trait MemoryDevice: Send {
     /// Human-readable name used in reports (e.g. `"2D_DDR3"`).
     fn name(&self) -> String;
 
@@ -93,6 +97,79 @@ pub trait MemoryDevice {
     /// observe it before data is usable; the default is zero.
     fn interface_delay(&self) -> Time {
         Time::ZERO
+    }
+}
+
+/// Constructs fresh, identically configured [`MemoryDevice`] instances.
+///
+/// Parallel experiment runners need one device per shard (device models are
+/// stateful), so experiments are described by *factories* rather than device
+/// instances. A factory is `Send + Sync`: one factory is shared by every
+/// worker thread and asked for a private device per simulation cell.
+///
+/// Device *configs* are the natural factories — `DramConfig`, `EpcmConfig`
+/// (and `CometConfig`/`CosmosConfig` in their crates) all implement this
+/// trait by constructing their device. For ad-hoc variants, wrap a closure
+/// in [`FnFactory`].
+pub trait DeviceFactory: Send + Sync {
+    /// The report name of the devices this factory builds. Usually equals
+    /// `MemoryDevice::name` of the built device; ad-hoc variants (see
+    /// [`FnFactory`]) may use a more specific label (e.g. `"COMET-2b"`).
+    fn device_name(&self) -> String;
+
+    /// Builds a new device in its initial state.
+    fn build(&self) -> Box<dyn MemoryDevice>;
+}
+
+/// A closure-backed [`DeviceFactory`] for one-off device variants
+/// (ablation sweeps, tuned configs) without a dedicated config type.
+///
+/// # Examples
+///
+/// ```
+/// use memsim::{DeviceFactory, DramConfig, DramDevice, FnFactory};
+///
+/// let f = FnFactory::new("DDR3-closed-page", || {
+///     let mut cfg = DramConfig::ddr3_1600_2d();
+///     cfg.row_policy = memsim::RowPolicy::Closed;
+///     Box::new(DramDevice::new(cfg))
+/// });
+/// assert_eq!(f.device_name(), "DDR3-closed-page");
+/// let _dev = f.build();
+/// ```
+pub struct FnFactory {
+    name: String,
+    build: Box<dyn Fn() -> Box<dyn MemoryDevice> + Send + Sync>,
+}
+
+impl FnFactory {
+    /// Wraps a device-building closure under a report name.
+    pub fn new(
+        name: impl Into<String>,
+        build: impl Fn() -> Box<dyn MemoryDevice> + Send + Sync + 'static,
+    ) -> Self {
+        FnFactory {
+            name: name.into(),
+            build: Box::new(build),
+        }
+    }
+}
+
+impl std::fmt::Debug for FnFactory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnFactory")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl DeviceFactory for FnFactory {
+    fn device_name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn build(&self) -> Box<dyn MemoryDevice> {
+        (self.build)()
     }
 }
 

@@ -9,7 +9,7 @@
 //! wide TSV-based internal buses and multiple channels.
 
 use crate::addr::DecodedAddress;
-use crate::device::{AccessTiming, MemoryDevice, Topology};
+use crate::device::{AccessTiming, DeviceFactory, MemoryDevice, Topology};
 use crate::request::MemOp;
 use comet_units::{Energy, Power, Time};
 use serde::{Deserialize, Serialize};
@@ -281,6 +281,16 @@ impl DramDevice {
     /// Takes (and clears) refresh energy accumulated since the last call.
     pub fn drain_refresh_energy(&mut self) -> Energy {
         std::mem::replace(&mut self.refresh_energy, Energy::ZERO)
+    }
+}
+
+impl DeviceFactory for DramConfig {
+    fn device_name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn build(&self) -> Box<dyn MemoryDevice> {
+        Box::new(DramDevice::new(self.clone()))
     }
 }
 

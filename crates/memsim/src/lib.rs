@@ -42,7 +42,7 @@ mod synth;
 mod trace;
 
 pub use addr::{AddressMap, AddressMapError, DecodedAddress, Interleave};
-pub use device::{AccessTiming, MemoryDevice, Topology};
+pub use device::{AccessTiming, DeviceFactory, FnFactory, MemoryDevice, Topology};
 pub use dram::{DramConfig, DramDevice, DramEnergy, DramTimings, RowPolicy};
 pub use engine::{run_simulation, ReplayMode, Scheduler, SimConfig};
 pub use pcm::{EpcmConfig, EpcmDevice};

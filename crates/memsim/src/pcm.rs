@@ -6,7 +6,7 @@
 //! LL-PCM / DyPhase class of EPCM main-memory proposals the paper cites.
 
 use crate::addr::DecodedAddress;
-use crate::device::{AccessTiming, MemoryDevice, Topology};
+use crate::device::{AccessTiming, DeviceFactory, MemoryDevice, Topology};
 use crate::request::MemOp;
 use comet_units::{Energy, Power, Time};
 use serde::{Deserialize, Serialize};
@@ -88,6 +88,16 @@ impl EpcmDevice {
     /// The configuration.
     pub fn config(&self) -> &EpcmConfig {
         &self.config
+    }
+}
+
+impl DeviceFactory for EpcmConfig {
+    fn device_name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn build(&self) -> Box<dyn MemoryDevice> {
+        Box::new(EpcmDevice::new(self.clone()))
     }
 }
 

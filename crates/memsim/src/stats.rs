@@ -45,6 +45,15 @@ impl LatencyHistogram {
         }
     }
 
+    /// Reconstructs a histogram from its bucket counts (the inverse of
+    /// [`LatencyHistogram::counts`]; used by results import).
+    pub fn from_counts(counts: [u64; 10]) -> Self {
+        LatencyHistogram {
+            counts,
+            total: counts.iter().sum(),
+        }
+    }
+
     /// Records one latency sample.
     pub fn record(&mut self, latency: Time) {
         let ns = latency.as_nanos();

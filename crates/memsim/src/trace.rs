@@ -32,9 +32,12 @@ impl TraceClock {
         self.period * cycle as f64
     }
 
-    /// Converts a time back to (truncated) cycles.
+    /// Converts a time back to cycles, rounding to nearest. Rounding (not
+    /// truncation) makes quantization idempotent — `cycle_of(time_of(c)) ==
+    /// c` despite the period not being a dyadic float — so a
+    /// write→read→write round trip of a trace file is byte-identical.
     pub fn cycle_of(&self, t: Time) -> u64 {
-        (t.as_seconds() / self.period.as_seconds()) as u64
+        (t.as_seconds() / self.period.as_seconds()).round() as u64
     }
 }
 
@@ -210,5 +213,16 @@ mod tests {
         let clock = TraceClock::two_ghz();
         assert!((clock.time_of(1000).as_nanos() - 500.0).abs() < 1e-9);
         assert_eq!(clock.cycle_of(Time::from_nanos(500.0)), 1000);
+    }
+
+    #[test]
+    fn cycle_quantization_is_idempotent() {
+        // Regression: truncating cycle_of dropped cycles whose period
+        // product rounded slightly low (31 -> 30 at 2 GHz), so re-writing a
+        // read trace changed its bytes.
+        let clock = TraceClock::two_ghz();
+        for cycle in [0u64, 1, 31, 62, 124, 241, 1_000_003, (1 << 40) + 31] {
+            assert_eq!(clock.cycle_of(clock.time_of(cycle)), cycle, "{cycle}");
+        }
     }
 }

@@ -76,6 +76,59 @@ proptest! {
         prop_assert_eq!(seen.len() as u64, channels);
     }
 
+    #[test]
+    fn coordinates_roundtrip_through_encode(
+        channels in pow2(2),
+        banks in pow2(3),
+        interleave in any_interleave(),
+        seed in any::<u64>(),
+    ) {
+        // The other direction of bijectivity: encode ∘ decode = id starting
+        // from coordinates, for every interleave variant.
+        let (rows, columns) = (64u64, 16u64);
+        let m = AddressMap::new(channels, banks, rows, columns, 64, interleave).unwrap();
+        let mut x = seed | 1;
+        for _ in 0..64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let d = memsim::DecodedAddress {
+                channel: (x >> 1) % channels,
+                bank: (x >> 17) % banks,
+                row: (x >> 33) % rows,
+                column: (x >> 49) % columns,
+            };
+            prop_assert_eq!(m.decode(m.encode(d)), d, "{:?}", interleave);
+        }
+    }
+
+    #[test]
+    fn xor_interleave_spreads_pow2_strides(
+        channels_log2 in 1u32..=3,
+        stride_log2 in 0u32..=10,
+        start in 0u64..1024,
+    ) {
+        // Permutation-based (XOR-folded) channel interleaving must spread
+        // *every* power-of-two line stride across all channels — including
+        // strides that are multiples of the channel count, which serialize
+        // onto one channel under plain modulo interleaving.
+        let channels = 1u64 << channels_log2;
+        let stride = 1u64 << stride_log2;
+        let m = AddressMap::new(channels, 8, 4096, 128, 64, Interleave::RowBankColumnChannelXor)
+            .unwrap();
+        let lines = m.capacity_bytes() / 64;
+        let window = 4 * channels;
+        let seen: std::collections::HashSet<u64> = (0..window)
+            .map(|k| m.decode(((start + k * stride) % lines) * 64).channel)
+            .collect();
+        prop_assert_eq!(
+            seen.len() as u64,
+            channels,
+            "stride {} over {} channels touched only {:?}",
+            stride,
+            channels,
+            seen
+        );
+    }
+
     // --- trace generation -------------------------------------------------------
 
     #[test]
@@ -254,6 +307,35 @@ proptest! {
             let dt = (a.arrival.as_nanos() - b.arrival.as_nanos()).abs();
             prop_assert!(dt <= clock.period.as_nanos() + 1e-9);
         }
+    }
+
+    #[test]
+    fn trace_io_is_byte_stable_after_first_quantization(
+        pattern in any_pattern(),
+        read_fraction in 0.0..1.0f64,
+        seed in any::<u64>(),
+    ) {
+        // After one write→read (which quantizes arrivals to cycles), any
+        // further write→read cycle must be a fixed point: identical bytes
+        // and identical requests.
+        let p = WorkloadProfile {
+            name: "io-stable".into(),
+            read_fraction,
+            footprint: ByteCount::from_mib(64),
+            pattern,
+            interarrival: Time::from_nanos(10.0),
+            requests: 100,
+            line_bytes: 64,
+        };
+        let clock = TraceClock::two_ghz();
+        let mut text1 = Vec::new();
+        write_trace(&mut text1, &p.generate(seed), clock).expect("write 1");
+        let reqs1 = read_trace(text1.as_slice(), clock, 64).expect("read 1");
+        let mut text2 = Vec::new();
+        write_trace(&mut text2, &reqs1, clock).expect("write 2");
+        prop_assert_eq!(&text2, &text1, "trace bytes changed across a round trip");
+        let reqs2 = read_trace(text2.as_slice(), clock, 64).expect("read 2");
+        prop_assert_eq!(reqs2, reqs1);
     }
 
     // --- device sanity ----------------------------------------------------------------

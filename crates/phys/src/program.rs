@@ -19,7 +19,9 @@
 use crate::thermal::{CellState, CellThermalModel, PulseSpec};
 use comet_units::{Energy, Power, Time, Transmittance};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Mutex, OnceLock};
 
 /// Which state the cell is erased to before level writes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -164,15 +166,76 @@ pub struct ProgramTable {
     pub spacing: f64,
 }
 
+/// Cache key: (model fingerprint, mode, bits).
+type TableKey = (u64, ProgramMode, u8);
+
+/// The process-wide memo of generated tables. Tables are small (≤ 64
+/// levels of plain scalars), so the cache never needs eviction — a process
+/// touches a handful of models.
+fn table_cache() -> &'static Mutex<HashMap<TableKey, ProgramTable>> {
+    static CACHE: OnceLock<Mutex<HashMap<TableKey, ProgramTable>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// A value fingerprint of a thermal model: FNV-1a over its full `Debug`
+/// rendering. Floats print at shortest-round-trip precision, so two models
+/// collide only if every parameter (optics, geometry, material, thermal
+/// calibration, wavelength, derived LUTs) is bit-identical — exactly the
+/// condition under which their program tables are interchangeable.
+fn model_fingerprint(model: &CellThermalModel) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in format!("{model:?}").bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
 impl ProgramTable {
     /// Generates a table by inverting `model` for `2^bits` equally spaced
     /// transmission levels.
+    ///
+    /// The pulse search behind a table costs tens of milliseconds (hundreds
+    /// of transient thermal simulations — the workspace's slowest kernel),
+    /// so successful generations are memoized process-wide: repeated calls
+    /// with an identical model return a clone of the cached table. Use
+    /// [`ProgramTable::generate_uncached`] to force the full search.
     ///
     /// # Errors
     ///
     /// Returns [`GenerateTableError`] if the cell's optical contrast cannot
     /// host the requested level count or a level proves unreachable.
     pub fn generate(
+        model: &CellThermalModel,
+        mode: ProgramMode,
+        bits: u8,
+    ) -> Result<ProgramTable, GenerateTableError> {
+        assert!((1..=6).contains(&bits), "bits per cell must be in 1..=6");
+        let key = (model_fingerprint(model), mode, bits);
+        if let Some(table) = table_cache().lock().expect("cache lock").get(&key) {
+            return Ok(table.clone());
+        }
+        let table = Self::generate_uncached(model, mode, bits)?;
+        table_cache()
+            .lock()
+            .expect("cache lock")
+            .insert(key, table.clone());
+        Ok(table)
+    }
+
+    /// The number of memoized tables (diagnostics/tests).
+    pub fn cached_tables() -> usize {
+        table_cache().lock().expect("cache lock").len()
+    }
+
+    /// [`ProgramTable::generate`] without the memo: always runs the full
+    /// pulse search (the criterion benches compare the two).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenerateTableError`] if the cell's optical contrast cannot
+    /// host the requested level count or a level proves unreachable.
+    pub fn generate_uncached(
         model: &CellThermalModel,
         mode: ProgramMode,
         bits: u8,
@@ -564,6 +627,34 @@ mod tests {
         let l7 = &t.levels[7];
         let perturbed = Transmittance::new(l7.transmittance.value() + t.spacing * 0.3);
         assert_eq!(t.decode(perturbed), 7);
+    }
+
+    #[test]
+    fn cached_generation_matches_uncached() {
+        let m = model();
+        let uncached =
+            ProgramTable::generate_uncached(m, ProgramMode::AmorphousReset, 2).expect("generate");
+        let first = ProgramTable::generate(m, ProgramMode::AmorphousReset, 2).expect("generate");
+        let second = ProgramTable::generate(m, ProgramMode::AmorphousReset, 2).expect("generate");
+        assert_eq!(first, uncached);
+        assert_eq!(second, uncached);
+        assert!(ProgramTable::cached_tables() >= 1);
+    }
+
+    #[test]
+    fn cache_distinguishes_models() {
+        // A perturbed calibration must never hit the default model's cache
+        // entry: the memoized result has to equal its own uncached search.
+        let base = model();
+        let mut params = *base.params();
+        params.ambient = comet_units::Temperature::from_kelvin(params.ambient.as_kelvin() + 25.0);
+        let warm = CellThermalModel::new(base.optics().clone(), params, base.wavelength());
+        // Populate/exercise the default model's entry first.
+        let _ = ProgramTable::generate(base, ProgramMode::AmorphousReset, 1).expect("generate");
+        let cached = ProgramTable::generate(&warm, ProgramMode::AmorphousReset, 1).expect("warm");
+        let direct =
+            ProgramTable::generate_uncached(&warm, ProgramMode::AmorphousReset, 1).expect("warm");
+        assert_eq!(cached, direct);
     }
 
     #[test]
