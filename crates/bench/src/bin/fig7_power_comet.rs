@@ -2,6 +2,7 @@
 
 use comet::{CometConfig, CometPowerModel};
 use comet_bench::{header, ratio, Table};
+use photonic::{CellModelMode, Photodetector};
 
 fn main() {
     header(
@@ -45,5 +46,51 @@ fn main() {
     println!(
         "# active SOA count (4b): {} x 1.4 mW (paper: B*Mr*Mc/46)",
         CometConfig::comet_4b().active_soa_count()
+    );
+
+    // Derived-vs-paper divergence of the read-out budget: the same
+    // COMET-4b power model evaluated with the cell's optics taken from
+    // the transcribed constants and from the physics layer.
+    println!("## read-out budget: paper vs derived cell model (COMET-4b)");
+    let model = CometPowerModel::new(CometConfig::comet_4b());
+    let detector = Photodetector::ge_10ghz();
+    let mut dv = Table::new(vec![
+        "mode",
+        "read_path_dB",
+        "worst_rx_uW",
+        "level_err_prob_b4",
+    ]);
+    let mut per_mode = Vec::new();
+    for mode in CellModelMode::ALL {
+        let cell = mode.model();
+        let path_loss = model
+            .read_path(cell.as_ref())
+            .total_loss(&model.config.optical);
+        let rx = model.worst_received_power(cell.as_ref());
+        // The error probability is evaluated at the *detector*: the cell
+        // target power less the return-trip drop-MR loss (the same return
+        // trip worst_received_power charges), for a transparent cell.
+        let rx_full_scale = model
+            .config
+            .optical
+            .max_power_at_cell
+            .attenuate(model.config.optical.eo_mr_drop_loss);
+        let err = detector.level_error_probability_for_cell(rx_full_scale, 4, cell.as_ref());
+        per_mode.push((path_loss.value(), rx.as_microwatts()));
+        dv.row(vec![
+            mode.to_string(),
+            format!("{:.3}", path_loss.value()),
+            format!("{:.2}", rx.as_microwatts()),
+            format!("{err:.2e}"),
+        ]);
+    }
+    dv.print();
+    println!(
+        "# divergence: read path {:+.3} dB, worst received power {:+.2} uW \
+         (derived - paper);\n\
+         # the physics-derived amorphous cell is more transparent, so the \
+         derived read path is slightly cheaper",
+        per_mode[1].0 - per_mode[0].0,
+        per_mode[1].1 - per_mode[0].1,
     );
 }

@@ -3,7 +3,7 @@
 
 use comet_bench::{header, Table};
 use comet_units::Length;
-use photonic::OpticalParams;
+use photonic::{CellModelMode, LevelBudget, OpticalParams};
 
 fn main() {
     header(
@@ -80,5 +80,51 @@ fn main() {
     println!(
         "# derived: SOA re-amplification every {} rows (15.2 dB / 0.33 dB)",
         p.rows_per_soa_stage()
+    );
+
+    // The cross-layer cell contract under both providers: the transcribed
+    // paper constants next to the physics-derived values, with the
+    // divergence each architecture-level quantity inherits.
+    println!("## cell optical contract: paper vs derived (CellOpticalModel)");
+    let paper = CellModelMode::Paper.model();
+    let derived = CellModelMode::Derived.model();
+    let mut cell = Table::new(vec!["cell_quantity", "paper", "derived", "delta"]);
+    type CellQuantity = fn(&dyn photonic::CellOpticalModel) -> f64;
+    let rows: [(&str, CellQuantity); 5] = [
+        ("top level T", |m| m.max_transmittance().value()),
+        ("bottom level T", |m| m.min_transmittance().value()),
+        ("insertion loss (dB)", |m| m.insertion_loss().value()),
+        ("level spacing @4b", |m| m.level_spacing(4)),
+        ("fraction span", |m| m.fraction_span()),
+    ];
+    for (name, f) in rows {
+        let a = f(paper.as_ref());
+        let b = f(derived.as_ref());
+        cell.row(vec![
+            name.to_string(),
+            format!("{a:.4}"),
+            format!("{b:.4}"),
+            format!("{:+.4}", b - a),
+        ]);
+    }
+    for bits in [1u8, 2, 4] {
+        let a = LevelBudget::for_cell(bits, paper.as_ref())
+            .loss_tolerance
+            .value();
+        let b = LevelBudget::for_cell(bits, derived.as_ref())
+            .loss_tolerance
+            .value();
+        cell.row(vec![
+            format!("loss tolerance b={bits} (dB)"),
+            format!("{a:.3}"),
+            format!("{b:.3}"),
+            format!("{:+.3}", b - a),
+        ]);
+    }
+    cell.print();
+    println!(
+        "# evaluation runs in 'paper' mode by default; 'derived' resolves the\n\
+         # same contract from opcm-phys (sweep both: comet-lab --devices\n\
+         # COMET-paper,COMET-derived)"
     );
 }

@@ -9,7 +9,7 @@
 
 use crate::timing::CometTiming;
 use comet_units::{BitCount, ByteCount};
-use photonic::{LevelBudget, OpticalParams, WdmMdmLink};
+use photonic::{CellModelMode, CellOpticalModel, LevelBudget, OpticalParams, WdmMdmLink};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -114,6 +114,10 @@ pub struct CometConfig {
     pub optical: OpticalParams,
     /// Architectural timing (Table II).
     pub timing: CometTiming,
+    /// Where the cell's transmission levels come from: the paper's
+    /// transcribed constants (the evaluation default, so published figures
+    /// reproduce exactly) or the physics-derived model.
+    pub cell_model: CellModelMode,
 }
 
 impl CometConfig {
@@ -144,7 +148,20 @@ impl CometConfig {
             cache_line: ByteCount::new(128),
             optical: OpticalParams::table_i(),
             timing: CometTiming::table_ii(),
+            cell_model: CellModelMode::Paper,
         }
+    }
+
+    /// The same configuration with a different cell-model provider —
+    /// `comet-lab` campaigns use this to sweep derived-vs-paper.
+    pub fn with_cell_model(mut self, mode: CellModelMode) -> Self {
+        self.cell_model = mode;
+        self
+    }
+
+    /// Resolves the configured cell model to its provider.
+    pub fn cell_optics(&self) -> Box<dyn CellOpticalModel + Send + Sync> {
+        self.cell_model.model()
     }
 
     /// All three bit-density variants (Fig. 7).
@@ -210,9 +227,16 @@ impl CometConfig {
         )
     }
 
-    /// The read-out level budget for this bit density.
+    /// The idealized (full-scale) read-out level budget for this bit
+    /// density — the paper's Section III.C numbers.
     pub fn level_budget(&self) -> LevelBudget {
         LevelBudget::for_bits(self.bits_per_cell)
+    }
+
+    /// The read-out level budget over the configured cell model's *actual*
+    /// transmission range (paper constants or physics-derived).
+    pub fn cell_level_budget(&self) -> LevelBudget {
+        LevelBudget::for_cell(self.bits_per_cell, self.cell_optics().as_ref())
     }
 
     /// Validates dimensional and optical feasibility.

@@ -8,6 +8,7 @@
 
 use comet_units::{Decibels, Transmittance};
 use opcm_phys::ProgramTable;
+use photonic::{CellOpticalModel, PaperCellModel};
 use serde::{Deserialize, Serialize};
 
 /// Maps level indices to read-out transmittances and back.
@@ -34,20 +35,31 @@ pub struct LevelCodec {
 
 impl LevelCodec {
     /// An idealized codec: `2^bits` equally spaced levels from 0.95 down,
-    /// matching the paper's ~6 % spacing at 4 bits.
+    /// matching the paper's ~6 % spacing at 4 bits. Equivalent to
+    /// [`LevelCodec::from_cell_model`] over the paper-constants provider.
     ///
     /// # Panics
     ///
     /// Panics unless `1 <= bits <= 6`.
     pub fn ideal(bits: u8) -> Self {
-        assert!((1..=6).contains(&bits), "bits must be in 1..=6");
-        let n = 1u16 << bits;
-        let top = 0.95;
-        let bottom = 0.05;
-        let spacing = (top - bottom) / (n - 1) as f64;
+        Self::from_cell_model(&PaperCellModel::paper_constants(), bits)
+    }
+
+    /// A codec carrying the transmission levels of a circuit-layer cell
+    /// model — the cross-layer hook: pass the physics-derived provider and
+    /// every decode in this codec runs against real device optics.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= bits <= 6`.
+    pub fn from_cell_model(model: &dyn CellOpticalModel, bits: u8) -> Self {
         LevelCodec {
             bits,
-            levels: (0..n).map(|k| top - spacing * k as f64).collect(),
+            levels: model
+                .transmission_levels(bits)
+                .iter()
+                .map(|t| t.value())
+                .collect(),
         }
     }
 
@@ -355,6 +367,25 @@ mod tests {
         let t4 = codec.transmittance(4);
         let lost = codec.apply_loss(t4, Decibels::new(1.5));
         assert_ne!(codec.decode(lost), 4);
+    }
+
+    #[test]
+    fn ideal_codec_is_the_paper_cell_model() {
+        // `ideal` is defined as the paper-constants provider; the derived
+        // provider gives a close but distinct grid.
+        for bits in [1u8, 2, 4] {
+            let ideal = LevelCodec::ideal(bits);
+            let paper = LevelCodec::from_cell_model(&PaperCellModel::paper_constants(), bits);
+            assert_eq!(ideal, paper);
+            let derived =
+                LevelCodec::from_cell_model(&photonic::DerivedCellModel::comet_gst(), bits);
+            assert_eq!(derived.bits(), bits);
+            assert_ne!(derived, ideal, "derived grid should differ (b={bits})");
+            // Both decode their own levels exactly.
+            for level in 0..derived.level_count() as u8 {
+                assert_eq!(derived.decode(derived.transmittance(level)), level);
+            }
+        }
     }
 
     #[test]

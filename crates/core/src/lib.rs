@@ -9,7 +9,10 @@
 //! Layer map (each backed by its own module):
 //!
 //! * [`CometConfig`] — the `B × S_r × M_r × M_c × b` architecture and its
-//!   validation (Section III.C / IV.A);
+//!   validation (Section III.C / IV.A), carrying a
+//!   [`photonic::CellModelMode`] that selects between the paper's
+//!   transcribed cell constants and the physics-derived cell model for
+//!   every codec/LUT/power computation below;
 //! * [`CometTiming`] — Table II timing, derivable from the physics layer;
 //! * [`AddressMapper`] — Eqs. (1)–(6);
 //! * [`GainLut`] — loss-aware SOA gain trimming (52/12/46-entry LUTs);

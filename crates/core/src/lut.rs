@@ -13,7 +13,7 @@
 //! * `b=4`: tolerance 0.26 dB ⇒ a step every row, 46 distinct values.
 
 use comet_units::Decibels;
-use photonic::OpticalParams;
+use photonic::{CellOpticalModel, LevelBudget, OpticalParams};
 use serde::{Deserialize, Serialize};
 
 /// The paper's read-out loss tolerance for `bits` per cell: a signal may
@@ -56,21 +56,53 @@ impl GainLut {
     /// to at least one row, matching the paper's entry counts: steps of
     /// 10, 4 and 1 rows for b = 1, 2, 4).
     pub fn step_rows(bits: u8, params: &OpticalParams) -> u64 {
-        let budget = paper_loss_tolerance(bits);
+        Self::step_rows_for_tolerance(paper_loss_tolerance(bits), params)
+    }
+
+    /// Gain-step granularity for an explicit loss tolerance.
+    fn step_rows_for_tolerance(budget: Decibels, params: &OpticalParams) -> u64 {
         let rows = budget.value() / params.eo_mr_through_loss.value();
         (rows.ceil() as u64).max(1)
     }
 
-    /// Builds the LUT for `bits` per cell and `subarray_rows` rows.
+    /// Builds the LUT for `bits` per cell and `subarray_rows` rows, with
+    /// the loss tolerance from the paper's Section III.C expressions.
     ///
     /// # Panics
     ///
     /// Panics unless `1 <= bits <= 8` and `subarray_rows > 0`.
     pub fn for_bits(bits: u8, subarray_rows: u64, params: &OpticalParams) -> Self {
+        Self::with_tolerance(bits, subarray_rows, params, paper_loss_tolerance(bits))
+    }
+
+    /// Builds the LUT with the loss tolerance of a circuit-layer cell
+    /// model's *actual* level spacing — the cross-layer variant: a
+    /// physics-derived cell with slightly different level spacing shifts
+    /// the gain-step granularity, and with it the LUT size.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= bits <= 6` and `subarray_rows > 0`.
+    pub fn for_cell(
+        model: &dyn CellOpticalModel,
+        bits: u8,
+        subarray_rows: u64,
+        params: &OpticalParams,
+    ) -> Self {
+        let budget = LevelBudget::for_cell(bits, model);
+        Self::with_tolerance(bits, subarray_rows, params, budget.loss_tolerance)
+    }
+
+    fn with_tolerance(
+        bits: u8,
+        subarray_rows: u64,
+        params: &OpticalParams,
+        tolerance: Decibels,
+    ) -> Self {
         assert!((1..=8).contains(&bits), "bits must be in 1..=8");
         assert!(subarray_rows > 0, "need at least one row");
         let soa_period = params.rows_per_soa_stage() as u64;
-        let step_rows = Self::step_rows(bits, params);
+        let step_rows = Self::step_rows_for_tolerance(tolerance, params);
         let distinct = soa_period.div_ceil(step_rows);
         let entries = (0..=distinct)
             .map(|i| params.eo_mr_through_loss * (i * step_rows) as f64)
@@ -153,6 +185,29 @@ mod tests {
         let b4 = GainLut::for_bits(4, 512, &p);
         assert_eq!(b4.step(), 1);
         assert_eq!(b4.distinct_entries(), 46, "paper: 46 entries for b=4");
+    }
+
+    #[test]
+    fn cell_model_luts_stay_close_to_the_paper_granularity() {
+        use photonic::{CellModelMode, DerivedCellModel, PaperCellModel};
+        let p = params();
+        for bits in [1u8, 2, 4] {
+            let paper_lut = GainLut::for_cell(&PaperCellModel::paper_constants(), bits, 512, &p);
+            let derived_lut = GainLut::for_cell(&DerivedCellModel::comet_gst(), bits, 512, &p);
+            let table_lut = GainLut::for_bits(bits, 512, &p);
+            // Real-cell tolerances are slightly tighter than the paper's
+            // full-scale expressions, so steps shrink by at most one notch.
+            for lut in [&paper_lut, &derived_lut] {
+                assert!(lut.step() <= table_lut.step(), "b={bits}");
+                assert!(lut.step() + 2 >= table_lut.step(), "b={bits}");
+            }
+        }
+        // b=4 keeps the per-row schedule (46 distinct entries) under every
+        // provider — the paper's headline LUT size is physics-robust.
+        for mode in CellModelMode::ALL {
+            let lut = GainLut::for_cell(mode.model().as_ref(), 4, 512, &p);
+            assert_eq!(lut.distinct_entries(), 46, "{mode}");
+        }
     }
 
     #[test]

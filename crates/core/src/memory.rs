@@ -64,9 +64,14 @@ pub struct CometMemory {
 }
 
 impl CometMemory {
-    /// Creates an erased memory with the ideal level codec.
+    /// Creates an erased memory whose level codec comes from the
+    /// configuration's cell model: the paper's transcribed levels in
+    /// `Paper` mode (identical to [`LevelCodec::ideal`]), the
+    /// physics-derived transmission grid in `Derived` mode.
     pub fn new(config: CometConfig) -> Self {
-        Self::with_codec(config.clone(), LevelCodec::ideal(config.bits_per_cell))
+        let codec =
+            LevelCodec::from_cell_model(config.cell_optics().as_ref(), config.bits_per_cell);
+        Self::with_codec(config, codec)
     }
 
     /// Creates a memory with an explicit codec (e.g. derived from a
@@ -78,7 +83,19 @@ impl CometMemory {
             "codec bit density must match the configuration"
         );
         let mapper = AddressMapper::new(&config);
-        let lut = GainLut::for_bits(config.bits_per_cell, config.subarray_rows, &config.optical);
+        // Paper mode keeps the published LUT granularity (52/12/46
+        // entries); derived mode lets the physical level spacing set it.
+        let lut = match config.cell_model {
+            photonic::CellModelMode::Paper => {
+                GainLut::for_bits(config.bits_per_cell, config.subarray_rows, &config.optical)
+            }
+            photonic::CellModelMode::Derived => GainLut::for_cell(
+                config.cell_optics().as_ref(),
+                config.bits_per_cell,
+                config.subarray_rows,
+                &config.optical,
+            ),
+        };
         let addr_map = AddressMap::new(
             1,
             config.banks,
@@ -266,6 +283,20 @@ mod tests {
 
     fn memory() -> CometMemory {
         CometMemory::new(CometConfig::comet_4b())
+    }
+
+    #[test]
+    fn derived_cell_model_memory_roundtrips() {
+        use photonic::CellModelMode;
+        // The physics-derived level grid stores and recovers data just
+        // like the paper grid, and still tolerates sub-margin read loss.
+        let cfg = CometConfig::comet_4b().with_cell_model(CellModelMode::Derived);
+        let mut mem = CometMemory::new(cfg);
+        let data: Vec<u8> = (0..64).map(|i| i * 3).collect();
+        mem.write(0x40, &data);
+        assert_eq!(mem.read(0x40, data.len()), data);
+        mem.inject_read_loss(Decibels::new(0.05));
+        assert_eq!(mem.read(0x40, data.len()), data);
     }
 
     #[test]

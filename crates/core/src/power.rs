@@ -16,7 +16,7 @@
 
 use crate::arch::CometConfig;
 use comet_units::{Decibels, Length, Power};
-use photonic::{Laser, ModePenalty, OpticalPath, PathElement};
+use photonic::{CellOpticalModel, Laser, ModePenalty, OpticalPath, PathElement};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -104,6 +104,28 @@ impl CometPowerModel {
             .push(PathElement::TunedMrDrop(photonic::MrTuning::ElectroOptic))
             .push(PathElement::TunedMrDrop(photonic::MrTuning::ElectroOptic));
         path
+    }
+
+    /// The read-out path: the access path extended through the cell
+    /// itself in its most transmissive state, with the insertion loss
+    /// taken from a circuit-layer cell model — so the same path budget can
+    /// be evaluated under the paper's constants or the physics-derived
+    /// model (the divergence `fig7_power_comet` tabulates).
+    pub fn read_path(&self, cell: &dyn CellOpticalModel) -> OpticalPath {
+        let mut path = self.access_path();
+        path.push_cell(cell);
+        path
+    }
+
+    /// Worst-case power arriving at the detector for the configured cell
+    /// target power: the cell's *deepest* level transmittance on top of
+    /// the read-path losses past the cell.
+    pub fn worst_received_power(&self, cell: &dyn CellOpticalModel) -> Power {
+        let at_cell = self.config.optical.max_power_at_cell;
+        let past_cell = at_cell.attenuate(cell.min_transmittance().to_decibels());
+        // The return trip re-crosses the row gating MR; SOA trim gain has
+        // already compensated row-dependent losses (GainLut).
+        past_cell.attenuate(self.config.optical.eo_mr_drop_loss)
     }
 
     /// Worst MDM mode-order penalty for the configured bank count.

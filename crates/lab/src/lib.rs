@@ -53,7 +53,7 @@ mod spec;
 
 pub use json::{Json, JsonError};
 pub use registry::{
-    comet_variant, device_by_name, device_names, fig9_device_axis, workload_names,
+    cell_model_axis, comet_variant, device_by_name, device_names, fig9_device_axis, workload_names,
     workloads_by_name, FIG9_DEVICES,
 };
 pub use report::{CampaignReport, CellReport, DeviceSummary, ReportParseError};

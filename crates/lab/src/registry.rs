@@ -4,11 +4,22 @@
 //! devices and workloads up here. Device names match the report names the
 //! paper's Fig. 9 uses; workload names are the SPEC-like suite of
 //! `memsim::spec_like_suite` plus `"all"`.
+//!
+//! The cross-layer cell-model mode is a first-class axis: `COMET-paper`
+//! and `COMET-derived` are COMET-4b with the transcribed-constants and
+//! physics-derived cell models respectively, so a single grid (see
+//! [`cell_model_axis`]) sweeps derived-vs-paper like any other device
+//! comparison:
+//!
+//! ```text
+//! comet-lab --devices COMET-paper,COMET-derived --workloads all
+//! ```
 
 use crate::spec::WorkloadSource;
 use comet::CometConfig;
 use cosmos::CosmosConfig;
 use memsim::{spec_like_suite, DeviceFactory, DramConfig, EpcmConfig, FnFactory};
+use photonic::CellModelMode;
 
 /// The seven memory systems of the paper's Fig. 9 evaluation, in its
 /// canonical order.
@@ -16,11 +27,18 @@ pub const FIG9_DEVICES: [&str; 7] = [
     "2D_DDR3", "3D_DDR3", "2D_DDR4", "3D_DDR4", "EPCM-MM", "COSMOS", "COMET",
 ];
 
-/// All registered device names: the Fig. 9 seven plus the COMET
-/// bit-density variants.
+/// All registered device names: the Fig. 9 seven, the COMET bit-density
+/// variants, and the cell-model modes (paper-transcribed vs
+/// physics-derived cell optics).
 pub fn device_names() -> Vec<&'static str> {
     let mut names = FIG9_DEVICES.to_vec();
-    names.extend(["COMET-1b", "COMET-2b", "COMET-4b"]);
+    names.extend([
+        "COMET-1b",
+        "COMET-2b",
+        "COMET-4b",
+        "COMET-paper",
+        "COMET-derived",
+    ]);
     names
 }
 
@@ -38,8 +56,29 @@ pub fn device_by_name(name: &str) -> Option<Box<dyn DeviceFactory>> {
         "COMET-1b" => comet_variant("COMET-1b", CometConfig::comet_1b()),
         "COMET-2b" => comet_variant("COMET-2b", CometConfig::comet_2b()),
         "COMET-4b" => comet_variant("COMET-4b", CometConfig::comet_4b()),
+        // Cell-model modes: the same COMET-4b architecture with its level
+        // grid taken from the paper constants vs derived from the physics
+        // layer, so campaigns sweep derived-vs-paper in one grid.
+        "COMET-paper" => comet_variant(
+            "COMET-paper",
+            CometConfig::comet_4b().with_cell_model(CellModelMode::Paper),
+        ),
+        "COMET-derived" => comet_variant(
+            "COMET-derived",
+            CometConfig::comet_4b().with_cell_model(CellModelMode::Derived),
+        ),
         _ => return None,
     })
+}
+
+/// The derived-vs-paper device axis: COMET-4b under both cell-model
+/// providers, for campaigns that measure how far transcribed constants
+/// drift from the physics layer.
+pub fn cell_model_axis() -> Vec<Box<dyn DeviceFactory>> {
+    ["COMET-paper", "COMET-derived"]
+        .iter()
+        .map(|n| device_by_name(n).expect("registry covers its own names"))
+        .collect()
 }
 
 /// A COMET config as a factory reporting under an explicit variant label.

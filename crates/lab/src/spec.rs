@@ -6,6 +6,29 @@
 //! [`run_campaign`](crate::run_campaign)). The spec layer is deliberately
 //! dumb data: all policy (sharding, seeding, aggregation) lives in the
 //! runner so that a spec describes *what* to measure, never *how*.
+//!
+//! Any configuration knob a device factory captures becomes a sweepable
+//! axis by registering one factory per setting. The cross-layer cell-model
+//! mode works exactly this way: the registry's `COMET-paper` and
+//! `COMET-derived` names (see [`cell_model_axis`](crate::cell_model_axis))
+//! put the transcribed-constants and physics-derived level grids side by
+//! side on the device axis, so a single campaign measures
+//! derived-vs-paper divergence under identical workloads, seeds and
+//! engine points:
+//!
+//! ```
+//! use comet_lab::{cell_model_axis, run_campaign, CampaignSpec, WorkloadSource};
+//! use memsim::spec_like_suite;
+//!
+//! let spec = CampaignSpec::new(
+//!     "derived-vs-paper",
+//!     42,
+//!     cell_model_axis(),
+//!     spec_like_suite(200).into_iter().take(1).map(WorkloadSource::Profile).collect(),
+//! );
+//! let report = run_campaign(&spec, 2);
+//! assert_eq!(report.cells.len(), 2); // one cell per provider
+//! ```
 
 use memsim::{DeviceFactory, MemRequest, ReplayMode, Scheduler, SimConfig, WorkloadProfile};
 use std::fmt;

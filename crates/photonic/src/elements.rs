@@ -87,6 +87,11 @@ pub enum PathElement {
         /// Number of output ways.
         ways: u32,
     },
+    /// A PCM memory cell in its most transmissive (amorphous) state,
+    /// carrying the insertion loss its
+    /// [`CellOpticalModel`](crate::CellOpticalModel) reports — see
+    /// [`OpticalPath::push_cell`](crate::OpticalPath::push_cell).
+    Cell(Decibels),
     /// A fixed extra loss (e.g. a PCM cell at a known state).
     Fixed(Decibels),
     /// A semiconductor optical amplifier providing gain.
@@ -113,6 +118,7 @@ impl PathElement {
                 assert!(ways >= 1, "splitter must have at least one way");
                 Decibels::new(10.0 * (ways as f64).log10())
             }
+            PathElement::Cell(insertion) => insertion,
             PathElement::Fixed(db) => db,
             PathElement::Soa { gain } => -gain,
         }

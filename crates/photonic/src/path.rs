@@ -68,6 +68,23 @@ impl OpticalPath {
         self
     }
 
+    /// Appends a memory cell in its most transmissive state, taking the
+    /// insertion loss from a cell model — the cross-layer hook through
+    /// which device physics enters a circuit-level loss budget.
+    ///
+    /// ```
+    /// use photonic::{CellOpticalModel, DerivedCellModel, OpticalParams, OpticalPath, PathElement};
+    ///
+    /// let cell = DerivedCellModel::comet_gst();
+    /// let mut path = OpticalPath::new();
+    /// path.push(PathElement::Coupler).push_cell(&cell);
+    /// let loss = path.total_loss(&OpticalParams::table_i());
+    /// assert!(loss.value() > 1.0 && loss.value() < 1.5);
+    /// ```
+    pub fn push_cell(&mut self, cell: &dyn crate::CellOpticalModel) -> &mut Self {
+        self.push(PathElement::Cell(cell.insertion_loss()))
+    }
+
     /// The elements in traversal order.
     pub fn elements(&self) -> &[PathElement] {
         &self.elements

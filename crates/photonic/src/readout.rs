@@ -126,6 +126,42 @@ impl Photodetector {
         erfc(z)
     }
 
+    /// [`Photodetector::level_error_probability`] for a *real* cell: the
+    /// level spacing in photocurrent follows the cell model's actual
+    /// transmission range instead of the idealized full-scale `[0, 1]`.
+    ///
+    /// `received` is the power arriving for a fully transparent cell; the
+    /// top level receives `received · T_top` and adjacent levels sit
+    /// `received · spacing` apart in optical power.
+    ///
+    /// ```
+    /// use comet_units::Power;
+    /// use photonic::{DerivedCellModel, Photodetector};
+    ///
+    /// // A physics-derived transmission grid feeding the read-out chain:
+    /// let cell = DerivedCellModel::comet_gst();
+    /// let d = Photodetector::ge_10ghz();
+    /// let p = Power::from_microwatts(50.0);
+    /// let real = d.level_error_probability_for_cell(p, 4, &cell);
+    /// let ideal = d.level_error_probability(p, 4);
+    /// // The real range is narrower than full scale, so errors are likelier.
+    /// assert!(real >= ideal);
+    /// assert!(real < 0.5);
+    /// ```
+    pub fn level_error_probability_for_cell(
+        &self,
+        received: Power,
+        bits: u8,
+        cell: &dyn crate::CellOpticalModel,
+    ) -> f64 {
+        let full_scale = self.responsivity * received.as_watts();
+        let spacing = full_scale * cell.level_spacing(bits);
+        let top = Power::from_watts(received.as_watts() * cell.max_transmittance().value());
+        let sigma = self.total_noise_current(top);
+        let z = spacing / (2.0 * std::f64::consts::SQRT_2 * sigma);
+        erfc(z)
+    }
+
     /// Minimum received power for the level-error probability to drop
     /// below `target` at `bits` per cell (binary search over power).
     pub fn min_power_for_error(&self, bits: u8, target: f64) -> Power {

@@ -21,6 +21,22 @@
 //!   both case studies (Fig. 6);
 //! * [`spectra`](material_spectra) — C-band sweeps for the figures.
 //!
+//! # Derived vs paper constants
+//!
+//! This crate is the *source* side of the workspace's cross-layer cell
+//! contract. The circuit layer (`photonic`) never reads transmission
+//! constants directly: it declares a `CellOpticalModel` **trait**
+//! (transmission range, insertion loss, level spacing), and its
+//! `DerivedCellModel` provider resolves that contract from this crate's
+//! [`CellOpticalModel`] **struct** — `T(p, λ)` and its inverse — at the
+//! 1550 nm reference wavelength, with the same crystalline-end guard band
+//! [`ProgramTable::generate`] applies. The alternative provider carries
+//! the constants transcribed from the paper (levels 0.95 → 0.05), so
+//! recalibrating the physics here moves every `derived`-mode result in
+//! the architecture layer while `paper`-mode evaluation stays pinned to
+//! the publication; the `fig6_levels`/`table1_params` binaries print the
+//! divergence between the two.
+//!
 //! # Quick start
 //!
 //! ```
@@ -59,6 +75,7 @@ pub use materials::{
 pub use mixing::{effective_index, fraction_for_kappa, lorentz_lorenz_mix};
 pub use program::{
     fig6_case_studies, GenerateTableError, LevelSpec, ProgramMode, ProgramTable, ResetSpec,
+    CRYSTALLINE_GUARD, LEVEL_TRANSMITTANCE_FLOOR,
 };
 pub use spectra::{
     c_band_end, c_band_start, c_band_wavelengths, cell_spectrum, material_spectra,

@@ -23,6 +23,14 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Mutex, OnceLock};
 
+/// Transmittance added above the fully crystalline state before placing
+/// the deepest level (the programming guard band — see
+/// [`ProgramTable::usable_transmittance_range`]).
+pub const CRYSTALLINE_GUARD: f64 = 0.04;
+
+/// The floor under the deepest level's transmittance.
+pub const LEVEL_TRANSMITTANCE_FLOOR: f64 = 0.05;
+
 /// Which state the cell is erased to before level writes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ProgramMode {
@@ -228,6 +236,28 @@ impl ProgramTable {
         table_cache().lock().expect("cache lock").len()
     }
 
+    /// The usable transmittance range `(t_min, t_max)` level grids are
+    /// sliced from, with a guard band at the crystalline end: fully
+    /// crystalline levels are asymptotically slow to program and suffer
+    /// the worst read-out loss, so — like the paper's COSMOS remodeling,
+    /// which avoids "the high losses at high crystalline fractions" — the
+    /// deepest level stops short of `p = 1`
+    /// ([`CRYSTALLINE_GUARD`]/[`LEVEL_TRANSMITTANCE_FLOOR`]).
+    ///
+    /// This is the single authority on the range: both the programming
+    /// tables generated here and the circuit layer's derived cell model
+    /// (`photonic::DerivedCellModel`) slice the same interval, so the two
+    /// layers cannot desynchronize under recalibration.
+    pub fn usable_transmittance_range(
+        optics: &crate::cell_optics::CellOpticalModel,
+        lambda: comet_units::Length,
+    ) -> (f64, f64) {
+        let t_max = optics.transmittance(0.0, lambda).value();
+        let t_min = (optics.transmittance(1.0, lambda).value() + CRYSTALLINE_GUARD)
+            .max(LEVEL_TRANSMITTANCE_FLOOR);
+        (t_min, t_max)
+    }
+
     /// [`ProgramTable::generate`] without the memo: always runs the full
     /// pulse search (the criterion benches compare the two).
     ///
@@ -246,13 +276,8 @@ impl ProgramTable {
         let optics = model.optics();
 
         // Equally spaced transmittance targets between the achievable
-        // endpoints, with a guard band at the crystalline end: fully
-        // crystalline levels are asymptotically slow to program and suffer
-        // the worst read-out loss, so — like the paper's COSMOS remodeling,
-        // which avoids "the high losses at high crystalline fractions" —
-        // the deepest level stops short of p = 1.
-        let t_max = optics.transmittance(0.0, lambda).value();
-        let t_min = (optics.transmittance(1.0, lambda).value() + 0.04).max(0.05);
+        // endpoints (see `usable_transmittance_range` for the guard band).
+        let (t_min, t_max) = Self::usable_transmittance_range(optics, lambda);
         let span = t_max - t_min;
         // Require at least 2% spacing for levels to be distinguishable.
         let spacing = span / (n_levels - 1) as f64;
