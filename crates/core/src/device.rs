@@ -173,6 +173,20 @@ impl CometDevice {
     }
 }
 
+/// The controller-visible shape of a COMET configuration — each MDM mode
+/// is an independent bank *with its own data lane*: modeled as one bank
+/// per channel so the engine gives every mode a private bus (shared-bus
+/// contention would be wrong for MDM).
+fn controller_topology(config: &CometConfig) -> Topology {
+    Topology {
+        channels: config.banks,
+        banks: 1,
+        rows: config.subarrays * config.subarray_rows,
+        columns: 1,
+        line_bytes: config.timing.access_bytes(),
+    }
+}
+
 impl DeviceFactory for CometConfig {
     fn device_name(&self) -> String {
         "COMET".into()
@@ -180,6 +194,10 @@ impl DeviceFactory for CometConfig {
 
     fn build(&self) -> Box<dyn MemoryDevice> {
         Box::new(CometDevice::new(self.clone()))
+    }
+
+    fn device_topology(&self) -> Topology {
+        controller_topology(self)
     }
 }
 
@@ -189,16 +207,7 @@ impl MemoryDevice for CometDevice {
     }
 
     fn topology(&self) -> Topology {
-        // Each MDM mode is an independent bank *with its own data lane*:
-        // modeled as one bank per channel so the engine gives every mode a
-        // private bus (shared-bus contention would be wrong for MDM).
-        Topology {
-            channels: self.config.banks,
-            banks: 1,
-            rows: self.config.subarrays * self.config.subarray_rows,
-            columns: 1,
-            line_bytes: self.config.timing.access_bytes(),
-        }
+        controller_topology(&self.config)
     }
 
     fn bank_available(&mut self, loc: &DecodedAddress, at: Time) -> Time {

@@ -72,6 +72,19 @@ impl CosmosDevice {
     }
 }
 
+/// The controller-visible shape of a COSMOS configuration — 16 banks over
+/// 16 MDM modes, each with its own lane (the paper's generous zero-loss
+/// 16-mode assumption).
+fn controller_topology(config: &CosmosConfig) -> Topology {
+    Topology {
+        channels: config.banks,
+        banks: 1,
+        rows: config.rows,
+        columns: config.line_slots_per_row(),
+        line_bytes: config.timing.access_bytes(),
+    }
+}
+
 impl DeviceFactory for CosmosConfig {
     fn device_name(&self) -> String {
         self.name.clone()
@@ -79,6 +92,10 @@ impl DeviceFactory for CosmosConfig {
 
     fn build(&self) -> Box<dyn MemoryDevice> {
         Box::new(CosmosDevice::new(self.clone()))
+    }
+
+    fn device_topology(&self) -> Topology {
+        controller_topology(self)
     }
 }
 
@@ -88,15 +105,7 @@ impl MemoryDevice for CosmosDevice {
     }
 
     fn topology(&self) -> Topology {
-        // 16 banks over 16 MDM modes, each with its own lane (the paper's
-        // generous zero-loss 16-mode assumption).
-        Topology {
-            channels: self.config.banks,
-            banks: 1,
-            rows: self.config.rows,
-            columns: self.config.line_slots_per_row(),
-            line_bytes: self.config.timing.access_bytes(),
-        }
+        controller_topology(&self.config)
     }
 
     fn bank_available(&mut self, loc: &DecodedAddress, at: Time) -> Time {

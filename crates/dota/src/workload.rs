@@ -6,7 +6,7 @@
 //! per inference, activations spill and reload between layers.
 
 use comet_units::{ByteCount, Time};
-use memsim::{MemOp, MemRequest};
+use memsim::{AccessPattern, MemOp, MemRequest, WorkloadProfile};
 use serde::{Deserialize, Serialize};
 
 /// A transformer model's memory-relevant shape.
@@ -106,6 +106,26 @@ impl TransformerWorkload {
     /// Per-sample bytes moved at a given batch size (amortizes weights).
     pub fn bytes_per_sample(&self, batch: u32) -> ByteCount {
         ByteCount::new(self.batched(batch).bytes_per_inference.value() / batch as u64)
+    }
+
+    /// The model's traffic as a [`memsim::WorkloadProfile`] — the stream
+    /// adapter for `comet-serve` tenants: streaming accesses over the
+    /// weight region at the tensor core's demand intensity (a line every
+    /// 0.25 ns), with the model's read fraction deciding the write share.
+    /// Where [`TransformerWorkload::trace`] materializes one replayable
+    /// vector, this shape can sit behind any arrival process or
+    /// closed-loop client mix, beside SPEC-like tenants in one mux.
+    pub fn profile(&self, requests: usize) -> WorkloadProfile {
+        let weight_region = (self.parameters * 2).next_power_of_two().max(1 << 21);
+        WorkloadProfile {
+            name: format!("{}-stream", self.name),
+            read_fraction: self.read_fraction,
+            footprint: ByteCount::new(weight_region),
+            pattern: AccessPattern::Stream,
+            interarrival: Time::from_nanos(0.25),
+            requests,
+            line_bytes: 128,
+        }
     }
 
     /// The memory request stream of `inferences` back-to-back inferences,
@@ -243,5 +263,27 @@ mod tests {
     #[should_panic(expected = "batch")]
     fn zero_batch_rejected() {
         let _ = TransformerWorkload::deit_tiny().batched(0);
+    }
+
+    #[test]
+    fn profile_adapter_matches_trace_character() {
+        let model = TransformerWorkload::deit_base();
+        let p = model.profile(1000);
+        assert_eq!(p.name, "DeiT-B-stream");
+        assert_eq!(p.line_bytes, 128);
+        assert!((p.read_fraction - model.read_fraction).abs() < 1e-12);
+        // Footprint covers the weight region the trace walks.
+        let max_trace_addr = model
+            .trace(1, 100, 0)
+            .iter()
+            .map(|r| r.address)
+            .max()
+            .unwrap();
+        assert!(p.footprint.value() >= model.parameters * 2);
+        assert!(max_trace_addr < 2 * p.footprint.value());
+        // Generates a valid stream (the serve shape path consumes this).
+        let reqs = p.generate(3);
+        assert_eq!(reqs.len(), 1000);
+        assert!(reqs.iter().all(|r| r.address < p.footprint.value()));
     }
 }

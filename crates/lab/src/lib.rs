@@ -16,10 +16,17 @@
 //!   [`Json`] emitter/parser (the offline `serde` shim derives nothing —
 //!   see `shims/README.md`).
 //!
-//! The `comet-lab` binary runs a campaign from command-line axes and
-//! writes `results/<name>.json` + `results/<name>.csv`; the `fig9` and
-//! ablation binaries in `comet-bench` are thin wrappers over campaign
-//! specs.
+//! The `comet-lab` binary runs a campaign from command-line axes — or
+//! from a JSON spec file via `comet-lab run spec.json` (see
+//! [`spec_from_json`]) — and writes `results/<name>.json` +
+//! `results/<name>.csv`; the `fig9`, `fig_latency_vs_load` and ablation
+//! binaries in `comet-bench` are thin wrappers over campaign specs.
+//!
+//! Engine points cover two engines: trace replay (`memsim`) and the
+//! event-driven `comet-serve` service core ([`EnginePoint::serve`]), whose
+//! open/closed-loop scenarios make arrival rate, tenant mix, channel-shard
+//! count and write batching sweepable campaign axes (see
+//! [`serve_load_axis`], [`serve_mix_axis`], [`serve_concurrency_axis`]).
 //!
 //! # Quick start
 //!
@@ -50,12 +57,15 @@ mod registry;
 mod report;
 mod runner;
 mod spec;
+mod spec_json;
 
 pub use json::{Json, JsonError};
 pub use registry::{
-    cell_model_axis, comet_variant, device_by_name, device_names, fig9_device_axis, workload_names,
+    cell_model_axis, comet_variant, device_by_name, device_names, fig9_device_axis,
+    serve_concurrency_axis, serve_device_axis, serve_load_axis, serve_mix_axis, workload_names,
     workloads_by_name, FIG9_DEVICES,
 };
 pub use report::{CampaignReport, CellReport, DeviceSummary, ReportParseError};
 pub use runner::{default_threads, run_campaign};
 pub use spec::{CampaignSpec, CellCoords, EnginePoint, WorkloadSource};
+pub use spec_json::{spec_from_json, spec_to_json, SpecError};

@@ -4,16 +4,23 @@
 //! comet-lab [--devices A,B,..] [--workloads all|name,..] [--requests N]
 //!           [--seed S] [--replicates R] [--engine paced|saturation|both]
 //!           [--threads T] [--name NAME] [--out DIR] [--list]
+//! comet-lab run SPEC.json [--threads T] [--out DIR] [--name NAME]
+//!           [--shards S]
 //! ```
 //!
-//! Writes `DIR/NAME.json` and `DIR/NAME.csv`, then re-parses the JSON and
-//! verifies it reconstructs the in-memory report exactly (so a zero exit
-//! code certifies the export round-trips). The report content is
-//! independent of `--threads`.
+//! The `run` form loads a full campaign spec — including `comet-serve`
+//! service scenarios — from a JSON file (the format `spec_to_json`
+//! emits). `--shards` overrides the channel-shard count of every serve
+//! engine point; like `--threads` it is a simulation-infrastructure knob,
+//! so the report is byte-identical for any value (CI asserts this).
+//!
+//! Both forms write `DIR/NAME.json` and `DIR/NAME.csv`, then re-parse the
+//! JSON and verify it reconstructs the in-memory report exactly (so a
+//! zero exit code certifies the export round-trips).
 
 use comet_lab::{
-    default_threads, device_by_name, device_names, run_campaign, workload_names, workloads_by_name,
-    CampaignReport, CampaignSpec, EnginePoint, WorkloadSource,
+    default_threads, device_by_name, device_names, run_campaign, spec_from_json, workload_names,
+    workloads_by_name, CampaignReport, CampaignSpec, EnginePoint, WorkloadSource,
 };
 use memsim::DeviceFactory;
 use std::process::ExitCode;
@@ -89,10 +96,104 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
 const USAGE: &str =
     "usage: comet-lab [--devices A,B,..] [--workloads all|name,..] [--requests N]\n\
                  [--seed S] [--replicates R] [--engine paced|saturation|both]\n\
-                 [--threads T] [--name NAME] [--out DIR] [--list]";
+                 [--threads T] [--name NAME] [--out DIR] [--list]\n\
+       comet-lab run SPEC.json [--threads T] [--out DIR] [--name NAME] [--shards S]";
+
+/// Arguments of the `run SPEC.json` form.
+struct RunArgs {
+    spec_path: String,
+    threads: usize,
+    out: String,
+    name: Option<String>,
+    shards: Option<usize>,
+}
+
+fn parse_run_args(argv: &[String]) -> Result<RunArgs, String> {
+    let mut it = argv.iter();
+    let spec_path = it
+        .next()
+        .cloned()
+        .ok_or_else(|| "run needs a SPEC.json path".to_string())?;
+    let mut args = RunArgs {
+        spec_path,
+        threads: default_threads(),
+        out: "results".into(),
+        name: None,
+        shards: None,
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a {what}"))
+        };
+        match flag.as_str() {
+            "--threads" => {
+                args.threads = value("count")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--out" => args.out = value("dir")?,
+            "--name" => args.name = Some(value("name")?),
+            "--shards" => {
+                args.shards = Some(
+                    value("count")?
+                        .parse()
+                        .map_err(|e| format!("--shards: {e}"))?,
+                )
+            }
+            "--help" | "-h" => return Err("help".into()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn run_from_spec(argv: &[String]) -> ExitCode {
+    let args = match parse_run_args(argv) {
+        Ok(a) => a,
+        Err(e) if e == "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("comet-lab: {e}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&args.spec_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("comet-lab: cannot read {}: {e}", args.spec_path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut spec = match spec_from_json(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("comet-lab: {}: {e}", args.spec_path);
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(name) = args.name {
+        spec.name = name;
+    }
+    if let Some(shards) = args.shards {
+        for engine in &mut spec.engines {
+            if let Some(serve) = &mut engine.serve {
+                serve.shards = shards;
+            }
+        }
+    }
+    execute(spec, args.threads, &args.out)
+}
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("run") {
+        return run_from_spec(&argv[1..]);
+    }
     let args = match parse_args(&argv) {
         Ok(a) => a,
         // Requested help goes to stdout and exits 0; errors go to stderr
@@ -154,21 +255,25 @@ fn main() -> ExitCode {
     let mut spec = CampaignSpec::new(&args.name, args.seed, devices, workloads);
     spec.replicates = args.replicates.max(1);
     spec.engines = engines;
+    execute(spec, args.threads, &args.out)
+}
 
+/// Runs a fully assembled spec and exports/validates its results.
+fn execute(spec: CampaignSpec, threads: usize, out: &str) -> ExitCode {
     let cells = spec.cells();
     println!(
         "# campaign '{}': {} cells ({} devices x {} workloads x {} engines x {} replicates) on {} threads",
-        args.name,
+        spec.name,
         cells,
         spec.devices.len(),
         spec.workloads.len(),
         spec.engines.len(),
         spec.replicates,
-        args.threads,
+        threads,
     );
 
     let started = Instant::now();
-    let report = run_campaign(&spec, args.threads);
+    let report = run_campaign(&spec, threads);
     let elapsed = started.elapsed();
     println!(
         "# ran {} cells in {:.2} s ({:.1} cells/s)",
@@ -188,12 +293,12 @@ fn main() -> ExitCode {
         );
     }
 
-    if let Err(e) = std::fs::create_dir_all(&args.out) {
-        eprintln!("comet-lab: cannot create {}: {e}", args.out);
+    if let Err(e) = std::fs::create_dir_all(out) {
+        eprintln!("comet-lab: cannot create {out}: {e}");
         return ExitCode::FAILURE;
     }
-    let json_path = format!("{}/{}.json", args.out, args.name);
-    let csv_path = format!("{}/{}.csv", args.out, args.name);
+    let json_path = format!("{}/{}.json", out, spec.name);
+    let csv_path = format!("{}/{}.csv", out, spec.name);
     let json = report.to_json();
     if let Err(e) = std::fs::write(&json_path, &json) {
         eprintln!("comet-lab: cannot write {json_path}: {e}");

@@ -15,9 +15,12 @@
 //! comet-lab --devices COMET-paper,COMET-derived --workloads all
 //! ```
 
-use crate::spec::WorkloadSource;
+use crate::spec::{EnginePoint, WorkloadSource};
 use comet::CometConfig;
+use comet_serve::{ArrivalProcess, ServeSpec, TenantSpec};
+use comet_units::Time;
 use cosmos::CosmosConfig;
+use dota::TransformerWorkload;
 use memsim::{spec_like_suite, DeviceFactory, DramConfig, EpcmConfig, FnFactory};
 use photonic::CellModelMode;
 
@@ -96,6 +99,69 @@ pub fn fig9_device_axis() -> Vec<Box<dyn DeviceFactory>> {
         .collect()
 }
 
+/// The latency-vs-load device axis: COMET against the strongest 2D DRAM
+/// and the COSMOS photonic baseline (the Fig. 9/10 protagonists whose
+/// headline wins are throughput-and-queueing claims).
+pub fn serve_device_axis() -> Vec<Box<dyn DeviceFactory>> {
+    ["2D_DDR4", "COSMOS", "COMET"]
+        .iter()
+        .map(|n| device_by_name(n).expect("registry covers its own names"))
+        .collect()
+}
+
+/// The open-loop load-level engine axis: one serve point per mean arrival
+/// rate, each issuing `requests` Poisson-arriving requests shaped by the
+/// cell's workload profile. Poisson (not evenly spaced) arrivals matter
+/// here: a deterministic grid beats against DRAM's refresh period, so
+/// light loads alias into refresh blackouts that heavier loads dodge and
+/// the tail-vs-load curve wiggles; memoryless arrivals sample every
+/// blackout phase uniformly at every load, keeping p99 monotone in
+/// offered load. Labels are `serve-open-<rate>` in grid order, so
+/// sweeping this axis against [`serve_device_axis`] produces the
+/// latency-vs-load hockey stick.
+pub fn serve_load_axis(rates_rps: &[f64], requests: usize) -> Vec<EnginePoint> {
+    rates_rps
+        .iter()
+        .map(|&rate| {
+            EnginePoint::serve(
+                format!("serve-open-{rate:.3e}"),
+                ServeSpec::open_loop(ArrivalProcess::poisson(rate), requests),
+            )
+        })
+        .collect()
+}
+
+/// The closed-loop concurrency engine axis: one serve point per client
+/// count at a fixed think time (labels `serve-closed-<clients>`).
+pub fn serve_concurrency_axis(clients: &[usize], think: Time, requests: usize) -> Vec<EnginePoint> {
+    clients
+        .iter()
+        .map(|&n| {
+            EnginePoint::serve(
+                format!("serve-closed-{n}"),
+                ServeSpec::closed_loop(n, think, requests),
+            )
+        })
+        .collect()
+}
+
+/// The tenant-mix engine axis: the cell's workload alone
+/// (`serve-solo`), and the same stream sharing the memory with a DOTA
+/// DeiT-Base inference tenant (`serve-dota-mix`) — the multi-tenant QoS
+/// scenario where a latency-sensitive stream contends with an
+/// accelerator's weight stream. Both tenants offer `process` arrivals and
+/// issue `requests` requests each.
+pub fn serve_mix_axis(process: ArrivalProcess, requests: usize) -> Vec<EnginePoint> {
+    let solo = EnginePoint::serve("serve-solo", ServeSpec::open_loop(process, requests));
+    let dota_tenant = TenantSpec::open("dota", process, requests)
+        .with_profile(TransformerWorkload::deit_base().profile(requests));
+    let mix = EnginePoint::serve(
+        "serve-dota-mix",
+        ServeSpec::open_loop(process, requests).with_tenant(dota_tenant),
+    );
+    vec![solo, mix]
+}
+
 /// Resolves a workload name against the SPEC-like suite sized to
 /// `requests`. `"all"` yields the whole suite.
 pub fn workloads_by_name(name: &str, requests: usize) -> Vec<WorkloadSource> {
@@ -126,6 +192,8 @@ mod tests {
             assert_eq!(f.device_name(), name, "factory label");
             let dev = f.build();
             assert!(dev.topology().line_bytes > 0, "{name} builds");
+            // Factory topology shortcuts must agree with built devices.
+            assert_eq!(f.device_topology(), dev.topology(), "{name} topology");
         }
         assert!(device_by_name("NVRAM-9000").is_none());
     }
@@ -135,6 +203,28 @@ mod tests {
         let axis = fig9_device_axis();
         let names: Vec<String> = axis.iter().map(|f| f.device_name()).collect();
         assert_eq!(names, FIG9_DEVICES);
+    }
+
+    #[test]
+    fn serve_axes_are_labelled_and_sized() {
+        let devices = serve_device_axis();
+        let names: Vec<String> = devices.iter().map(|f| f.device_name()).collect();
+        assert_eq!(names, ["2D_DDR4", "COSMOS", "COMET"]);
+
+        let loads = serve_load_axis(&[1.0e7, 1.0e8], 500);
+        assert_eq!(loads.len(), 2);
+        assert_eq!(loads[0].label, "serve-open-1.000e7");
+        assert!(loads.iter().all(|e| e.serve.is_some()));
+
+        let closed = serve_concurrency_axis(&[1, 8], Time::from_nanos(10.0), 300);
+        assert_eq!(closed[1].label, "serve-closed-8");
+
+        let mixes = serve_mix_axis(ArrivalProcess::poisson(1.0e8), 200);
+        assert_eq!(mixes.len(), 2);
+        let mix_spec = mixes[1].serve.as_ref().unwrap();
+        assert_eq!(mix_spec.tenants.len(), 2);
+        assert_eq!(mix_spec.tenants[1].name, "dota");
+        assert!(mix_spec.tenants[1].profile.is_some());
     }
 
     #[test]

@@ -149,6 +149,9 @@ impl CellReport {
                     ("makespan_s", Json::float(s.makespan.as_seconds())),
                     ("total_latency_s", Json::float(s.total_latency.as_seconds())),
                     ("max_latency_s", Json::float(s.max_latency.as_seconds())),
+                    ("p50_latency_s", Json::float(s.p50_latency.as_seconds())),
+                    ("p95_latency_s", Json::float(s.p95_latency.as_seconds())),
+                    ("p99_latency_s", Json::float(s.p99_latency.as_seconds())),
                     (
                         "histogram",
                         Json::Array(
@@ -179,14 +182,9 @@ impl CellReport {
                         Json::float(s.bandwidth().as_gigabytes_per_second()),
                     ),
                     ("avg_latency_ns", Json::float(s.avg_latency().as_nanos())),
-                    (
-                        "p50_latency_ns",
-                        Json::float(s.histogram.percentile(50.0).as_nanos()),
-                    ),
-                    (
-                        "p99_latency_ns",
-                        Json::float(s.histogram.percentile(99.0).as_nanos()),
-                    ),
+                    ("p50_latency_ns", Json::float(s.p50_latency.as_nanos())),
+                    ("p95_latency_ns", Json::float(s.p95_latency.as_nanos())),
+                    ("p99_latency_ns", Json::float(s.p99_latency.as_nanos())),
                     (
                         "epb_pjb",
                         Json::float(s.energy_per_bit().as_picojoules_per_bit()),
@@ -232,6 +230,9 @@ impl CellReport {
                 makespan: Time::from_seconds(f64_field(stats, "makespan_s")?),
                 total_latency: Time::from_seconds(f64_field(stats, "total_latency_s")?),
                 max_latency: Time::from_seconds(f64_field(stats, "max_latency_s")?),
+                p50_latency: Time::from_seconds(f64_field(stats, "p50_latency_s")?),
+                p95_latency: Time::from_seconds(f64_field(stats, "p95_latency_s")?),
+                p99_latency: Time::from_seconds(f64_field(stats, "p99_latency_s")?),
                 histogram: LatencyHistogram::from_counts(counts),
                 energy: EnergyBreakdown {
                     access: Energy::from_joules(f64_field(energy, "access")?),
@@ -307,14 +308,14 @@ impl CampaignReport {
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "index,device,workload,engine,replicate,seed,completed,reads,writes,bytes,\
-             makespan_ns,avg_latency_ns,p50_latency_ns,p99_latency_ns,max_latency_ns,\
-             bandwidth_gbs,epb_pjb,bw_per_epb,energy_access_pj,energy_background_pj,\
-             energy_refresh_pj\n",
+             makespan_ns,avg_latency_ns,p50_latency_ns,p95_latency_ns,p99_latency_ns,\
+             max_latency_ns,bandwidth_gbs,epb_pjb,bw_per_epb,energy_access_pj,\
+             energy_background_pj,energy_refresh_pj\n",
         );
         for c in &self.cells {
             let s = &c.stats;
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{:.0},{:.0},{:.3},{:.6},{:.6},{:.6},{:.3},{:.3},{:.3}\n",
+                "{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.6},{:.6},{:.6},{:.3},{:.3},{:.3}\n",
                 c.index,
                 csv_quote(&c.device),
                 csv_quote(&c.workload),
@@ -327,8 +328,9 @@ impl CampaignReport {
                 s.bytes.value(),
                 s.makespan.as_nanos(),
                 s.avg_latency().as_nanos(),
-                s.histogram.percentile(50.0).as_nanos(),
-                s.histogram.percentile(99.0).as_nanos(),
+                s.p50_latency.as_nanos(),
+                s.p95_latency.as_nanos(),
+                s.p99_latency.as_nanos(),
                 s.max_latency.as_nanos(),
                 s.bandwidth().as_gigabytes_per_second(),
                 s.energy_per_bit().as_picojoules_per_bit(),
@@ -409,6 +411,9 @@ mod tests {
         s.makespan = Time::from_nanos(350.5);
         s.total_latency = Time::from_nanos(410.25);
         s.max_latency = Time::from_nanos(200.125);
+        s.p50_latency = Time::from_nanos(120.5);
+        s.p95_latency = Time::from_nanos(190.25);
+        s.p99_latency = Time::from_nanos(200.125);
         s.histogram = LatencyHistogram::from_counts([0, 1, 0, 2, 0, 0, 0, 0, 0, 0]);
         s.energy = EnergyBreakdown {
             access: Energy::from_picojoules(512.5),

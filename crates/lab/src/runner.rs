@@ -93,7 +93,20 @@ pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> CampaignReport {
     }
 }
 
-/// Runs one cell: private device, seeded trace, sequential engine.
+/// Resizes a profile to a device-native cache line, preserving total
+/// bytes (the Fig. 9 equal-bytes methodology). Rounded division, floored
+/// at one request: a non-divisible count lands within half a line of the
+/// target bytes instead of silently truncating to an empty cell.
+fn normalize_profile(profile: &memsim::WorkloadProfile, line: u64) -> memsim::WorkloadProfile {
+    let mut profile = profile.clone();
+    let total_bytes = profile.requests as u64 * profile.line_bytes;
+    profile.requests = ((total_bytes + line / 2) / line).max(1) as usize;
+    profile.line_bytes = line;
+    profile
+}
+
+/// Runs one cell: private device(s), seeded trace or service scenario,
+/// sequential engine.
 fn run_cell(spec: &CampaignSpec, index: usize) -> CellReport {
     let c = spec.coords(index);
     let factory = &spec.devices[c.device];
@@ -101,28 +114,39 @@ fn run_cell(spec: &CampaignSpec, index: usize) -> CellReport {
     let engine = &spec.engines[c.engine];
     let seed = spec.cell_seed(c.replicate);
 
-    let mut device = factory.build();
-    let config = engine.sim_config(workload.name());
-
-    let stats = match workload {
-        WorkloadSource::Profile(profile) => {
-            let mut profile = profile.clone();
-            if spec.normalize_lines {
-                // Preserve total bytes while matching the device's native
-                // line (the Fig. 9 equal-bytes methodology). Rounded
-                // division, floored at one request: a non-divisible count
-                // lands within half a line of the target bytes instead of
-                // silently truncating to an empty cell.
-                let line = device.topology().line_bytes;
-                let total_bytes = profile.requests as u64 * profile.line_bytes;
-                profile.requests = ((total_bytes + line / 2) / line).max(1) as usize;
-                profile.line_bytes = line;
+    let stats = if let Some(serve) = &engine.serve {
+        // Service cell: the event-driven comet-serve core. Sources are
+        // generative, so the workload must be a profile (it shapes every
+        // tenant that carries no profile of its own).
+        let profile = match workload {
+            WorkloadSource::Profile(p) => p,
+            WorkloadSource::Trace { name, .. } => panic!(
+                "serve engine point '{}' needs a profile workload, got fixed trace '{name}'",
+                engine.label
+            ),
+        };
+        let profile = if spec.normalize_lines {
+            normalize_profile(profile, factory.device_topology().line_bytes)
+        } else {
+            profile.clone()
+        };
+        comet_serve::run_service(factory.as_ref(), serve, &profile, seed, workload.name()).stats
+    } else {
+        let mut device = factory.build();
+        let config = engine.sim_config(workload.name());
+        match workload {
+            WorkloadSource::Profile(profile) => {
+                let profile = if spec.normalize_lines {
+                    normalize_profile(profile, device.topology().line_bytes)
+                } else {
+                    profile.clone()
+                };
+                let trace = profile.generate(seed);
+                run_simulation(device.as_mut(), &trace, &config)
             }
-            let trace = profile.generate(seed);
-            run_simulation(device.as_mut(), &trace, &config)
-        }
-        WorkloadSource::Trace { requests, .. } => {
-            run_simulation(device.as_mut(), requests.as_slice(), &config)
+            WorkloadSource::Trace { requests, .. } => {
+                run_simulation(device.as_mut(), requests.as_slice(), &config)
+            }
         }
     };
 
@@ -260,6 +284,51 @@ mod tests {
                 "requests={requests}"
             );
         }
+    }
+
+    #[test]
+    fn serve_cells_run_the_service_core_and_stay_thread_invariant() {
+        let mut spec = small_spec();
+        spec.engines = vec![
+            EnginePoint::paced(),
+            EnginePoint::serve(
+                "serve-closed4",
+                comet_serve::ServeSpec::closed_loop(4, Time::from_nanos(20.0), 150),
+            ),
+        ];
+        let sequential = run_campaign(&spec, 1);
+        let parallel = run_campaign(&spec, 4);
+        assert_eq!(sequential, parallel);
+        assert_eq!(sequential.to_json(), parallel.to_json());
+        let serve_cells: Vec<_> = sequential
+            .cells
+            .iter()
+            .filter(|c| c.engine == "serve-closed4")
+            .collect();
+        assert_eq!(serve_cells.len(), 4);
+        for cell in serve_cells {
+            // Serve cells complete the scenario budget, not the profile's
+            // request count, and carry exact tail percentiles.
+            assert_eq!(cell.stats.completed, 150, "{}", cell.device);
+            assert!(cell.stats.p99_latency >= cell.stats.p50_latency);
+            assert!(cell.stats.p50_latency > Time::ZERO);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a profile workload")]
+    fn serve_cells_reject_fixed_traces() {
+        let mut spec = CampaignSpec::new(
+            "serve-trace",
+            1,
+            vec![Box::new(DramConfig::ddr3_1600_2d())],
+            vec![WorkloadSource::trace("fixed", Vec::new())],
+        );
+        spec.engines = vec![EnginePoint::serve(
+            "serve",
+            comet_serve::ServeSpec::closed_loop(1, Time::ZERO, 10),
+        )];
+        let _ = run_campaign(&spec, 1);
     }
 
     #[test]

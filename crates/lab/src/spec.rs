@@ -30,6 +30,7 @@
 //! assert_eq!(report.cells.len(), 2); // one cell per provider
 //! ```
 
+use comet_serve::ServeSpec;
 use memsim::{DeviceFactory, MemRequest, ReplayMode, Scheduler, SimConfig, WorkloadProfile};
 use std::fmt;
 use std::sync::Arc;
@@ -67,15 +68,22 @@ impl WorkloadSource {
     }
 }
 
-/// One point on the engine-configuration axis (scheduler × replay mode).
+/// One point on the engine-configuration axis: a trace-replay engine
+/// (scheduler × replay mode), or — when [`EnginePoint::serve`] is used —
+/// a `comet-serve` service scenario (tenant mix × arrival process ×
+/// sharding × batching) run through the event-driven core instead.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EnginePoint {
     /// Report label (e.g. `"frfcfs8-paced"`).
     pub label: String,
-    /// Scheduling policy.
+    /// Scheduling policy (replay engine; serve points carry their own).
     pub scheduler: Scheduler,
-    /// Arrival pacing.
+    /// Arrival pacing (replay engine only).
     pub replay: ReplayMode,
+    /// When set, the cell runs this service scenario through
+    /// [`comet_serve::run_service`], shaping profile-less tenants with the
+    /// cell's workload profile. `None` replays the cell's trace.
+    pub serve: Option<ServeSpec>,
 }
 
 impl EnginePoint {
@@ -86,6 +94,7 @@ impl EnginePoint {
             label: "frfcfs8-paced".into(),
             scheduler: Scheduler::default(),
             replay: ReplayMode::Paced,
+            serve: None,
         }
     }
 
@@ -95,15 +104,28 @@ impl EnginePoint {
             label: "frfcfs8-saturation".into(),
             scheduler: Scheduler::default(),
             replay: ReplayMode::Saturation,
+            serve: None,
         }
     }
 
-    /// A custom point under an explicit report label.
+    /// A custom replay point under an explicit report label.
     pub fn new(label: impl Into<String>, scheduler: Scheduler, replay: ReplayMode) -> Self {
         EnginePoint {
             label: label.into(),
             scheduler,
             replay,
+            serve: None,
+        }
+    }
+
+    /// A service point: the cell runs `spec` through the `comet-serve`
+    /// event-driven core (see [`comet_serve::run_service`]).
+    pub fn serve(label: impl Into<String>, spec: ServeSpec) -> Self {
+        EnginePoint {
+            label: label.into(),
+            scheduler: spec.scheduler,
+            replay: ReplayMode::Paced,
+            serve: Some(spec),
         }
     }
 

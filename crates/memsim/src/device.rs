@@ -119,6 +119,14 @@ pub trait DeviceFactory: Send + Sync {
 
     /// Builds a new device in its initial state.
     fn build(&self) -> Box<dyn MemoryDevice>;
+
+    /// The topology the built devices will report. The default constructs
+    /// a throwaway device and asks it; config-backed factories override
+    /// this for free, so callers that only need a shape (e.g. workload
+    /// line-size normalization) skip the device construction.
+    fn device_topology(&self) -> Topology {
+        self.build().topology()
+    }
 }
 
 /// A closure-backed [`DeviceFactory`] for one-off device variants

@@ -292,6 +292,10 @@ impl DeviceFactory for DramConfig {
     fn build(&self) -> Box<dyn MemoryDevice> {
         Box::new(DramDevice::new(self.clone()))
     }
+
+    fn device_topology(&self) -> Topology {
+        self.topology
+    }
 }
 
 impl MemoryDevice for DramDevice {

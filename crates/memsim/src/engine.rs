@@ -132,6 +132,7 @@ pub fn run_simulation(
     let mut bank_free = vec![Time::ZERO; nbanks];
     let mut bus_free = vec![Time::ZERO; topo.channels as usize];
     let mut stats = SimStats::new(device.name(), config.workload.clone());
+    let mut latencies: Vec<Time> = Vec::with_capacity(requests.len());
     let mut remaining: usize = requests.len();
 
     while remaining > 0 {
@@ -189,20 +190,23 @@ pub fn run_simulation(
         bank_free[bank] = timing.bank_free_at;
 
         let finished = transfer_end + device.interface_delay();
-        stats.record(&CompletedRequest {
+        let done = CompletedRequest {
             request: MemRequest {
                 arrival: arrivals[idx],
                 ..*req
             },
             issued: issue,
             finished,
-        });
+        };
+        stats.record(&done);
+        latencies.push(done.latency());
         stats.energy.access += timing.energy;
         remaining -= 1;
     }
 
     stats.energy.refresh = device.drain_accumulated_energy();
     stats.finalize_background(device.background_power());
+    stats.finalize_percentiles(&mut latencies);
     stats
 }
 

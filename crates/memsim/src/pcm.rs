@@ -99,6 +99,10 @@ impl DeviceFactory for EpcmConfig {
     fn build(&self) -> Box<dyn MemoryDevice> {
         Box::new(EpcmDevice::new(self.clone()))
     }
+
+    fn device_topology(&self) -> Topology {
+        self.topology
+    }
 }
 
 impl MemoryDevice for EpcmDevice {

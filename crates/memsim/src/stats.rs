@@ -75,20 +75,61 @@ impl LatencyHistogram {
         self.total
     }
 
-    /// Approximate percentile (returns the upper bound of the bucket
-    /// containing the percentile). `p` in `[0, 100]`.
+    /// Latency at percentile `p` (clamped to `[0, 100]`).
+    ///
+    /// Exact in rank: the nearest-rank sample (`ceil(p/100 · total)`, at
+    /// least 1) is located in its bucket, and the returned value is that
+    /// bucket's span linearly interpolated by the rank's position within
+    /// the bucket — so the result always brackets the true sample
+    /// percentile between the bucket's bounds, and feeding more samples of
+    /// a shifted distribution never moves it the wrong way. An empty
+    /// histogram reports [`Time::ZERO`].
     pub fn percentile(&self, p: f64) -> Time {
-        let target = (self.total as f64 * p / 100.0).ceil() as u64;
-        let mut seen = 0;
+        if self.total == 0 {
+            return Time::ZERO;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let target = ((self.total as f64 * p / 100.0).ceil()).max(1.0) as u64;
+        let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
+            let before = seen;
             seen += c;
-            if seen >= target {
-                let bound = BUCKET_BOUNDS_NS.get(i).copied().unwrap_or(316_000.0);
-                return Time::from_nanos(bound);
+            if c > 0 && seen >= target {
+                let lower = if i == 0 { 0.0 } else { BUCKET_BOUNDS_NS[i - 1] };
+                let upper = BUCKET_BOUNDS_NS.get(i).copied().unwrap_or(316_000.0);
+                let frac = (target - before) as f64 / c as f64;
+                return Time::from_nanos(lower + (upper - lower) * frac);
             }
         }
         Time::from_nanos(316_000.0)
     }
+}
+
+/// Exact nearest-rank percentile of an ascending-sorted sample set.
+///
+/// `q` is clamped to `[0, 100]`; an empty set reports [`Time::ZERO`]. This
+/// is the common tail-latency definition engines use to fill the
+/// [`SimStats`] percentile fields: the sample at rank `ceil(q/100 · n)`
+/// (at least 1).
+///
+/// # Examples
+///
+/// ```
+/// use comet_units::Time;
+/// use memsim::percentile_of_sorted;
+///
+/// let samples: Vec<Time> = (1..=100).map(|n| Time::from_nanos(n as f64)).collect();
+/// assert_eq!(percentile_of_sorted(&samples, 50.0), Time::from_nanos(50.0));
+/// assert_eq!(percentile_of_sorted(&samples, 99.0), Time::from_nanos(99.0));
+/// assert_eq!(percentile_of_sorted(&samples, 100.0), Time::from_nanos(100.0));
+/// ```
+pub fn percentile_of_sorted(sorted: &[Time], q: f64) -> Time {
+    if sorted.is_empty() {
+        return Time::ZERO;
+    }
+    let q = q.clamp(0.0, 100.0);
+    let rank = ((sorted.len() as f64 * q / 100.0).ceil()).max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
 }
 
 impl Default for LatencyHistogram {
@@ -118,6 +159,13 @@ pub struct SimStats {
     pub total_latency: Time,
     /// Maximum request latency.
     pub max_latency: Time,
+    /// Exact median request latency (nearest-rank; filled by the engine's
+    /// [`SimStats::finalize_percentiles`], [`Time::ZERO`] until then).
+    pub p50_latency: Time,
+    /// Exact 95th-percentile request latency (see [`SimStats::p50_latency`]).
+    pub p95_latency: Time,
+    /// Exact 99th-percentile request latency (see [`SimStats::p50_latency`]).
+    pub p99_latency: Time,
     /// Latency distribution.
     pub histogram: LatencyHistogram,
     /// Energy breakdown.
@@ -137,6 +185,9 @@ impl SimStats {
             makespan: Time::ZERO,
             total_latency: Time::ZERO,
             max_latency: Time::ZERO,
+            p50_latency: Time::ZERO,
+            p95_latency: Time::ZERO,
+            p99_latency: Time::ZERO,
             histogram: LatencyHistogram::new(),
             energy: EnergyBreakdown::default(),
         }
@@ -162,6 +213,17 @@ impl SimStats {
     /// once, after all requests are recorded.
     pub fn finalize_background(&mut self, background: Power) {
         self.energy.background = background * self.makespan;
+    }
+
+    /// Fills the exact p50/p95/p99 fields from the complete latency sample
+    /// set (sorted in place). Engines call this once, after all requests
+    /// are recorded, so trace replay and the `comet-serve` service core
+    /// report tail latency through the same fields.
+    pub fn finalize_percentiles(&mut self, samples: &mut [Time]) {
+        samples.sort_by(|a, b| a.as_seconds().total_cmp(&b.as_seconds()));
+        self.p50_latency = percentile_of_sorted(samples, 50.0);
+        self.p95_latency = percentile_of_sorted(samples, 95.0);
+        self.p99_latency = percentile_of_sorted(samples, 99.0);
     }
 
     /// Average request latency.
@@ -296,5 +358,45 @@ mod tests {
         assert_eq!(s.bandwidth(), DataRate::ZERO);
         assert_eq!(s.energy_per_bit(), EnergyPerBit::ZERO);
         assert_eq!(s.bandwidth_per_epb(), 0.0);
+        assert_eq!(s.p99_latency, Time::ZERO);
+        assert_eq!(LatencyHistogram::new().percentile(99.0), Time::ZERO);
+        assert_eq!(percentile_of_sorted(&[], 50.0), Time::ZERO);
+    }
+
+    #[test]
+    fn exact_percentiles_use_nearest_rank() {
+        let mut samples: Vec<Time> = (1..=200).map(|n| Time::from_nanos(n as f64)).collect();
+        // Shuffle-ish order: finalize must sort.
+        samples.reverse();
+        let mut s = SimStats::new("d", "w");
+        s.finalize_percentiles(&mut samples);
+        assert_eq!(s.p50_latency, Time::from_nanos(100.0));
+        assert_eq!(s.p95_latency, Time::from_nanos(190.0));
+        assert_eq!(s.p99_latency, Time::from_nanos(198.0));
+        // Single sample: every percentile is that sample.
+        let mut one = vec![Time::from_nanos(7.0)];
+        s.finalize_percentiles(&mut one);
+        assert_eq!(s.p50_latency, Time::from_nanos(7.0));
+        assert_eq!(s.p99_latency, Time::from_nanos(7.0));
+    }
+
+    #[test]
+    fn histogram_percentile_interpolates_within_bucket() {
+        // 100 samples all in the <100 ns bucket (bounds 31.6..100).
+        let mut h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(Time::from_nanos(50.0));
+        }
+        let p50 = h.percentile(50.0).as_nanos();
+        let p99 = h.percentile(99.0).as_nanos();
+        assert!(p50 > 31.6 && p50 < 100.0, "p50 {p50}");
+        assert!(p99 > p50 && p99 <= 100.0, "p99 {p99}");
+        // Percentiles are monotone in q.
+        let mut last = 0.0;
+        for q in [0.0, 10.0, 50.0, 90.0, 99.0, 100.0] {
+            let v = h.percentile(q).as_nanos();
+            assert!(v >= last, "q={q}: {v} < {last}");
+            last = v;
+        }
     }
 }

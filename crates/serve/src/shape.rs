@@ -1,0 +1,173 @@
+//! Incremental traffic shapes.
+//!
+//! A [`StreamShape`] is the *what* of a request stream — operation mix and
+//! address pattern — generated one access at a time so event-driven sources
+//! never materialize a whole trace. It reuses the spatial/mix semantics of
+//! [`memsim::WorkloadProfile`] (stream/strided/random/clustered patterns,
+//! read fraction, footprint), minus the profile's inter-arrival model:
+//! arrival times come from an [`ArrivalProcess`](crate::ArrivalProcess) or
+//! from closed-loop client feedback instead.
+
+use comet_units::ByteCount;
+use memsim::{AccessPattern, MemOp, WorkloadProfile};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// FNV-1a, matching the name fold `WorkloadProfile::generate` uses, so two
+/// shapes with equal seeds but different names decorrelate.
+fn hash_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// A deterministic, incremental (op, address) generator.
+///
+/// # Examples
+///
+/// ```
+/// use comet_serve::StreamShape;
+/// use memsim::spec_like_suite;
+///
+/// let profile = &spec_like_suite(100)[0];
+/// let mut shape = StreamShape::from_profile(profile, 42);
+/// let (_op, address, size) = shape.next_access();
+/// assert!(address < profile.footprint.value());
+/// assert_eq!(size.value(), profile.line_bytes);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamShape {
+    pattern: AccessPattern,
+    read_fraction: f64,
+    lines: u64,
+    line_bytes: u64,
+    row_lines: u64,
+    cursor: u64,
+    rng: StdRng,
+}
+
+impl StreamShape {
+    /// Builds a shape from a profile's spatial/mix parameters, seeded like
+    /// [`WorkloadProfile::generate`] (profile name folded into the seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile's read fraction is outside `[0, 1]` or its
+    /// footprint is smaller than one line.
+    pub fn from_profile(profile: &WorkloadProfile, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&profile.read_fraction),
+            "read fraction must be in [0,1]"
+        );
+        let lines = profile.footprint.value() / profile.line_bytes;
+        assert!(lines >= 1, "footprint smaller than one line");
+        let mut rng = StdRng::seed_from_u64(seed ^ hash_name(&profile.name));
+        let cursor = rng.gen_range(0..lines);
+        StreamShape {
+            pattern: profile.pattern,
+            read_fraction: profile.read_fraction,
+            lines,
+            line_bytes: profile.line_bytes,
+            // Row span used by the Clustered pattern (typical 8 KiB row).
+            row_lines: (8192 / profile.line_bytes).max(1),
+            cursor,
+            rng,
+        }
+    }
+
+    /// The next access: operation, line-aligned byte address, transfer size.
+    pub fn next_access(&mut self) -> (MemOp, u64, ByteCount) {
+        let line = match self.pattern {
+            AccessPattern::Stream => {
+                self.cursor = (self.cursor + 1) % self.lines;
+                self.cursor
+            }
+            AccessPattern::Strided { stride } => {
+                self.cursor = (self.cursor + stride / self.line_bytes) % self.lines;
+                self.cursor
+            }
+            AccessPattern::Random => self.rng.gen_range(0..self.lines),
+            AccessPattern::Clustered { locality } => {
+                if self.rng.gen_bool(locality.clamp(0.0, 1.0)) {
+                    let row_base = self.cursor / self.row_lines * self.row_lines;
+                    row_base + self.rng.gen_range(0..self.row_lines.min(self.lines))
+                } else {
+                    self.cursor = self.rng.gen_range(0..self.lines);
+                    self.cursor
+                }
+            }
+        };
+        let op = if self.rng.gen_bool(self.read_fraction) {
+            MemOp::Read
+        } else {
+            MemOp::Write
+        };
+        (op, line * self.line_bytes, ByteCount::new(self.line_bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_units::Time;
+
+    fn profile(pattern: AccessPattern) -> WorkloadProfile {
+        WorkloadProfile {
+            name: "shape-test".into(),
+            read_fraction: 0.7,
+            footprint: ByteCount::from_mib(4),
+            pattern,
+            interarrival: Time::from_nanos(1.0),
+            requests: 0,
+            line_bytes: 64,
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_name() {
+        let p = profile(AccessPattern::Random);
+        let stream = |seed: u64| {
+            let mut s = StreamShape::from_profile(&p, seed);
+            (0..100).map(|_| s.next_access()).collect::<Vec<_>>()
+        };
+        assert_eq!(stream(5), stream(5));
+        assert_ne!(stream(5), stream(6));
+        let mut renamed = p.clone();
+        renamed.name = "other".into();
+        let mut s = StreamShape::from_profile(&renamed, 5);
+        let other: Vec<_> = (0..100).map(|_| s.next_access()).collect();
+        assert_ne!(stream(5), other, "name decorrelates equal seeds");
+    }
+
+    #[test]
+    fn accesses_stay_in_footprint_and_respect_mix() {
+        for pattern in [
+            AccessPattern::Stream,
+            AccessPattern::Random,
+            AccessPattern::Strided { stride: 4096 },
+            AccessPattern::Clustered { locality: 0.6 },
+        ] {
+            let p = profile(pattern);
+            let mut shape = StreamShape::from_profile(&p, 9);
+            let mut reads = 0usize;
+            let n = 4000;
+            for _ in 0..n {
+                let (op, addr, size) = shape.next_access();
+                assert!(addr < p.footprint.value(), "{pattern:?}");
+                assert_eq!(addr % 64, 0);
+                assert_eq!(size.value(), 64);
+                if op.is_read() {
+                    reads += 1;
+                }
+            }
+            let frac = reads as f64 / n as f64;
+            assert!(
+                (frac - 0.7).abs() < 0.05,
+                "{pattern:?}: read fraction {frac}"
+            );
+        }
+    }
+}
