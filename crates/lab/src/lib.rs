@@ -61,11 +61,12 @@ mod spec_json;
 
 pub use json::{Json, JsonError};
 pub use registry::{
-    cell_model_axis, comet_variant, device_by_name, device_names, fig9_device_axis,
-    serve_concurrency_axis, serve_device_axis, serve_load_axis, serve_mix_axis, workload_names,
-    workloads_by_name, FIG9_DEVICES,
+    cell_model_axis, comet_variant, data_policy_axis, device_by_name, device_names,
+    epcm_data_variant, fig9_device_axis, payload_entropy_axis, serve_concurrency_axis,
+    serve_device_axis, serve_load_axis, serve_mix_axis, workload_names, workloads_by_name,
+    FIG9_DEVICES,
 };
-pub use report::{CampaignReport, CellReport, DeviceSummary, ReportParseError};
+pub use report::{CampaignReport, CellReport, DeviceSummary, ReportParseError, TenantSummary};
 pub use runner::{default_threads, run_campaign};
 pub use spec::{CampaignSpec, CellCoords, EnginePoint, WorkloadSource};
 pub use spec_json::{spec_from_json, spec_to_json, SpecError};

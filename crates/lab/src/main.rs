@@ -97,7 +97,18 @@ const USAGE: &str =
     "usage: comet-lab [--devices A,B,..] [--workloads all|name,..] [--requests N]\n\
                  [--seed S] [--replicates R] [--engine paced|saturation|both]\n\
                  [--threads T] [--name NAME] [--out DIR] [--list]\n\
-       comet-lab run SPEC.json [--threads T] [--out DIR] [--name NAME] [--shards S]";
+       comet-lab run SPEC.json [--threads T] [--out DIR] [--name NAME] [--shards S]\n\
+\n\
+  --list      print every registered device and workload name\n\
+  --shards S  (run form) override the channel-shard count of every serve\n\
+              engine point; like --threads it is simulation infrastructure,\n\
+              so the report is byte-identical for any value\n\
+\n\
+  Data-plane axes: devices EPCM-oblivious | EPCM-DCW | EPCM-DCW-FNW sweep\n\
+  the content-aware write policies (EPCM-MM stays the flat-cost baseline);\n\
+  spec-file tenants take a \"payload\" source (zero | sparse | weights |\n\
+  toggle | uniform) to sweep payload entropy. Outputs: NAME.json, NAME.csv\n\
+  and NAME.tenants.csv (per-tenant serve results).";
 
 /// Arguments of the `run SPEC.json` form.
 struct RunArgs {
@@ -226,7 +237,10 @@ fn main() -> ExitCode {
         match device_by_name(name) {
             Some(f) => devices.push(f),
             None => {
-                eprintln!("comet-lab: unknown device '{name}' (try --list)");
+                eprintln!(
+                    "comet-lab: unknown device '{name}'; registered: {}",
+                    device_names().join(", ")
+                );
                 return ExitCode::from(2);
             }
         }
@@ -236,7 +250,10 @@ fn main() -> ExitCode {
     for name in &args.workloads {
         let mut found = workloads_by_name(name, args.requests);
         if found.is_empty() {
-            eprintln!("comet-lab: unknown workload '{name}' (try --list)");
+            eprintln!(
+                "comet-lab: unknown workload '{name}'; registered: all, {}",
+                workload_names().join(", ")
+            );
             return ExitCode::from(2);
         }
         workloads.append(&mut found);
@@ -247,7 +264,7 @@ fn main() -> ExitCode {
         "saturation" => vec![EnginePoint::saturation()],
         "both" => vec![EnginePoint::paced(), EnginePoint::saturation()],
         other => {
-            eprintln!("comet-lab: unknown engine '{other}' (paced|saturation|both)");
+            eprintln!("comet-lab: unknown engine '{other}'; registered: paced, saturation, both");
             return ExitCode::from(2);
         }
     };
@@ -299,6 +316,7 @@ fn execute(spec: CampaignSpec, threads: usize, out: &str) -> ExitCode {
     }
     let json_path = format!("{}/{}.json", out, spec.name);
     let csv_path = format!("{}/{}.csv", out, spec.name);
+    let tenants_path = format!("{}/{}.tenants.csv", out, spec.name);
     let json = report.to_json();
     if let Err(e) = std::fs::write(&json_path, &json) {
         eprintln!("comet-lab: cannot write {json_path}: {e}");
@@ -306,6 +324,12 @@ fn execute(spec: CampaignSpec, threads: usize, out: &str) -> ExitCode {
     }
     if let Err(e) = std::fs::write(&csv_path, report.to_csv()) {
         eprintln!("comet-lab: cannot write {csv_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    // Per-tenant serve results ride in a third export (header-only for
+    // pure replay campaigns, so the output set is always the same).
+    if let Err(e) = std::fs::write(&tenants_path, report.to_tenant_csv()) {
+        eprintln!("comet-lab: cannot write {tenants_path}: {e}");
         return ExitCode::FAILURE;
     }
 
@@ -320,7 +344,8 @@ fn execute(spec: CampaignSpec, threads: usize, out: &str) -> ExitCode {
     match CampaignReport::from_json(&reread) {
         Ok(back) if back == report => {
             println!(
-                "# wrote {json_path} and {csv_path}; JSON parse-back verified ({cells} cells)"
+                "# wrote {json_path}, {csv_path} and {tenants_path}; \
+                 JSON parse-back verified ({cells} cells)"
             );
             ExitCode::SUCCESS
         }

@@ -17,11 +17,12 @@
 
 use crate::spec::{EnginePoint, WorkloadSource};
 use comet::CometConfig;
+use comet_data::{DataPolicy, DataWriteModel, PayloadSpec};
 use comet_serve::{ArrivalProcess, ServeSpec, TenantSpec};
 use comet_units::Time;
 use cosmos::CosmosConfig;
 use dota::TransformerWorkload;
-use memsim::{spec_like_suite, DeviceFactory, DramConfig, EpcmConfig, FnFactory};
+use memsim::{spec_like_suite, DeviceFactory, DramConfig, EpcmConfig, EpcmDevice, FnFactory};
 use photonic::CellModelMode;
 
 /// The seven memory systems of the paper's Fig. 9 evaluation, in its
@@ -31,8 +32,9 @@ pub const FIG9_DEVICES: [&str; 7] = [
 ];
 
 /// All registered device names: the Fig. 9 seven, the COMET bit-density
-/// variants, and the cell-model modes (paper-transcribed vs
-/// physics-derived cell optics).
+/// variants, the cell-model modes (paper-transcribed vs physics-derived
+/// cell optics), and the data-plane write policies (EPCM-MM with
+/// content-priced writes).
 pub fn device_names() -> Vec<&'static str> {
     let mut names = FIG9_DEVICES.to_vec();
     names.extend([
@@ -41,6 +43,9 @@ pub fn device_names() -> Vec<&'static str> {
         "COMET-4b",
         "COMET-paper",
         "COMET-derived",
+        "EPCM-oblivious",
+        "EPCM-DCW",
+        "EPCM-DCW-FNW",
     ]);
     names
 }
@@ -70,8 +75,64 @@ pub fn device_by_name(name: &str) -> Option<Box<dyn DeviceFactory>> {
             "COMET-derived",
             CometConfig::comet_4b().with_cell_model(CellModelMode::Derived),
         ),
+        // Data-plane policy variants: the EPCM-MM array with per-cell
+        // transition pricing from the physics layer's GST programming
+        // table, under the three write policies. `EPCM-MM` itself stays
+        // the flat-cost (legacy) baseline.
+        "EPCM-oblivious" => epcm_data_variant("EPCM-oblivious", DataPolicy::Oblivious),
+        "EPCM-DCW" => epcm_data_variant("EPCM-DCW", DataPolicy::Dcw),
+        "EPCM-DCW-FNW" => epcm_data_variant("EPCM-DCW-FNW", DataPolicy::DcwFnw),
         _ => return None,
     })
+}
+
+/// An EPCM-MM factory whose devices price writes content-aware under
+/// `policy` (4-bit GST transition costs; see `comet_data`).
+pub fn epcm_data_variant(label: &str, policy: DataPolicy) -> Box<dyn DeviceFactory> {
+    let label = label.to_string();
+    Box::new(FnFactory::new(label.clone(), move || {
+        let mut cfg = EpcmConfig::epcm_mm();
+        cfg.name = label.clone();
+        Box::new(EpcmDevice::with_pricer(
+            cfg,
+            Box::new(DataWriteModel::gst(4, policy)),
+        ))
+    }))
+}
+
+/// The data-policy device axis: content-oblivious, DCW, and DCW +
+/// Flip-N-Write pricing over the same EPCM-MM array — the write-energy
+/// ordering every `fig_write_energy_vs_entropy` point must respect.
+pub fn data_policy_axis() -> Vec<Box<dyn DeviceFactory>> {
+    ["EPCM-oblivious", "EPCM-DCW", "EPCM-DCW-FNW"]
+        .iter()
+        .map(|n| device_by_name(n).expect("registry covers its own names"))
+        .collect()
+}
+
+/// The payload-entropy engine axis: one open-loop serve point per payload
+/// source of [`PayloadSpec::entropy_sweep`] (all-zero → sparse updates →
+/// transformer weights → complement toggling → uniform), labels
+/// `payload-<source>` in sweep order. Crossed with [`data_policy_axis`],
+/// one campaign grid measures write energy per policy × entropy ×
+/// workload.
+pub fn payload_entropy_axis(process: ArrivalProcess, requests: usize) -> Vec<EnginePoint> {
+    PayloadSpec::entropy_sweep()
+        .into_iter()
+        .map(|payload| {
+            EnginePoint::serve(
+                format!("payload-{}", payload.label()),
+                ServeSpec {
+                    tenants: vec![
+                        TenantSpec::open("data", process, requests).with_payload(payload)
+                    ],
+                    scheduler: memsim::Scheduler::default(),
+                    shards: 1,
+                    batch: None,
+                },
+            )
+        })
+        .collect()
 }
 
 /// The derived-vs-paper device axis: COMET-4b under both cell-model
@@ -225,6 +286,33 @@ mod tests {
         assert_eq!(mix_spec.tenants.len(), 2);
         assert_eq!(mix_spec.tenants[1].name, "dota");
         assert!(mix_spec.tenants[1].profile.is_some());
+    }
+
+    #[test]
+    fn data_axes_are_labelled_and_ordered() {
+        let policies = data_policy_axis();
+        let names: Vec<String> = policies.iter().map(|f| f.device_name()).collect();
+        assert_eq!(names, ["EPCM-oblivious", "EPCM-DCW", "EPCM-DCW-FNW"]);
+        // Policy variants keep the EPCM-MM shape (same topology, so the
+        // same traffic hits every policy).
+        for f in &policies {
+            assert_eq!(
+                f.device_topology(),
+                EpcmConfig::epcm_mm().topology,
+                "{}",
+                f.device_name()
+            );
+        }
+
+        let entropies = payload_entropy_axis(ArrivalProcess::poisson(1.0e7), 100);
+        assert_eq!(entropies.len(), 5);
+        assert_eq!(entropies[0].label, "payload-zero");
+        assert_eq!(entropies[4].label, "payload-uniform");
+        for point in &entropies {
+            let serve = point.serve.as_ref().expect("entropy axis is serve");
+            assert_eq!(serve.tenants.len(), 1);
+            assert!(serve.tenants[0].payload.is_some(), "{}", point.label);
+        }
     }
 
     #[test]

@@ -9,9 +9,65 @@
 //! shortest-round-trip precision).
 
 use crate::json::{Json, JsonError};
+use comet_serve::TenantStats;
 use comet_units::{ByteCount, Energy, Time};
 use memsim::{EnergyBreakdown, LatencyHistogram, SimStats};
 use std::fmt;
+
+/// Per-tenant results of one serve cell, in tenant index order — the
+/// exportable subset of [`comet_serve::TenantStats`] (plain scalars; the
+/// tail percentiles are materialized from the streaming histogram at
+/// capture time so the JSON round trip stays exact).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSummary {
+    /// Tenant name.
+    pub name: String,
+    /// Requests completed.
+    pub completed: u64,
+    /// Reads completed.
+    pub reads: u64,
+    /// Writes completed.
+    pub writes: u64,
+    /// Bytes transferred.
+    pub bytes: ByteCount,
+    /// Sum of request latencies (exact mean = total / completed).
+    pub total_latency: Time,
+    /// Maximum request latency.
+    pub max_latency: Time,
+    /// Median latency (streaming-histogram resolution).
+    pub p50_latency: Time,
+    /// 95th-percentile latency (streaming-histogram resolution).
+    pub p95_latency: Time,
+    /// 99th-percentile latency (streaming-histogram resolution).
+    pub p99_latency: Time,
+}
+
+impl TenantSummary {
+    /// Captures a serve run's tenant accounting.
+    pub fn from_stats(t: &TenantStats) -> Self {
+        TenantSummary {
+            name: t.name.clone(),
+            completed: t.completed,
+            reads: t.reads,
+            writes: t.writes,
+            bytes: t.bytes,
+            total_latency: t.total_latency,
+            max_latency: t.max_latency,
+            p50_latency: t.percentile(50.0),
+            p95_latency: t.percentile(95.0),
+            p99_latency: t.percentile(99.0),
+        }
+    }
+
+    /// Mean request latency.
+    pub fn avg_latency(&self) -> Time {
+        if self.completed == 0 {
+            Time::ZERO
+        } else {
+            self.total_latency / self.completed as f64
+        }
+    }
+}
 
 /// The result of one campaign cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,6 +86,8 @@ pub struct CellReport {
     pub seed: u64,
     /// Aggregate simulation statistics.
     pub stats: SimStats,
+    /// Per-tenant results (serve cells only; empty for trace replay).
+    pub tenants: Vec<TenantSummary>,
 }
 
 /// The aggregate results of a campaign.
@@ -127,6 +185,36 @@ fn str_field(obj: &Json, key: &str) -> Result<String, ReportParseError> {
         .to_string())
 }
 
+fn tenant_to_json(t: &TenantSummary) -> Json {
+    Json::object([
+        ("name", Json::string(&t.name)),
+        ("completed", Json::integer(t.completed)),
+        ("reads", Json::integer(t.reads)),
+        ("writes", Json::integer(t.writes)),
+        ("bytes", Json::integer(t.bytes.value())),
+        ("total_latency_s", Json::float(t.total_latency.as_seconds())),
+        ("max_latency_s", Json::float(t.max_latency.as_seconds())),
+        ("p50_latency_s", Json::float(t.p50_latency.as_seconds())),
+        ("p95_latency_s", Json::float(t.p95_latency.as_seconds())),
+        ("p99_latency_s", Json::float(t.p99_latency.as_seconds())),
+    ])
+}
+
+fn tenant_from_json(t: &Json) -> Result<TenantSummary, ReportParseError> {
+    Ok(TenantSummary {
+        name: str_field(t, "name")?,
+        completed: u64_field(t, "completed")?,
+        reads: u64_field(t, "reads")?,
+        writes: u64_field(t, "writes")?,
+        bytes: ByteCount::new(u64_field(t, "bytes")?),
+        total_latency: Time::from_seconds(f64_field(t, "total_latency_s")?),
+        max_latency: Time::from_seconds(f64_field(t, "max_latency_s")?),
+        p50_latency: Time::from_seconds(f64_field(t, "p50_latency_s")?),
+        p95_latency: Time::from_seconds(f64_field(t, "p95_latency_s")?),
+        p99_latency: Time::from_seconds(f64_field(t, "p99_latency_s")?),
+    })
+}
+
 impl CellReport {
     fn to_json(&self) -> Json {
         let s = &self.stats;
@@ -172,6 +260,10 @@ impl CellReport {
                     ),
                 ]),
             ),
+            (
+                "tenants",
+                Json::Array(self.tenants.iter().map(tenant_to_json).collect()),
+            ),
             // Redundant human-facing metrics; recomputed (not parsed) on
             // import so the round trip stays exact.
             (
@@ -213,6 +305,16 @@ impl CellReport {
                 .ok_or_else(|| schema("histogram bucket is not an integer"))?;
         }
         let energy = field(stats, "energy_j")?;
+        // Absent means a pre-tenant-export report: parse as no tenants.
+        let tenants = match cell.get("tenants") {
+            None => Vec::new(),
+            Some(t) => t
+                .as_array()
+                .ok_or_else(|| schema("'tenants' is not an array"))?
+                .iter()
+                .map(tenant_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        };
         Ok(CellReport {
             index: u64_field(cell, "index")? as usize,
             device: str_field(cell, "device")?,
@@ -220,6 +322,7 @@ impl CellReport {
             engine: str_field(cell, "engine")?,
             replicate: u64_field(cell, "replicate")? as usize,
             seed: u64_field(cell, "seed")?,
+            tenants,
             stats: SimStats {
                 device: str_field(stats, "device")?,
                 workload: str_field(stats, "workload")?,
@@ -343,6 +446,39 @@ impl CampaignReport {
         out
     }
 
+    /// Serializes per-tenant serve results as CSV: one row per (cell,
+    /// tenant), empty below replay cells (header always present, so the
+    /// export is deterministic for any engine mix).
+    pub fn to_tenant_csv(&self) -> String {
+        let mut out = String::from(
+            "index,device,workload,engine,replicate,tenant,completed,reads,writes,bytes,\
+             avg_latency_ns,p50_latency_ns,p95_latency_ns,p99_latency_ns,max_latency_ns\n",
+        );
+        for c in &self.cells {
+            for t in &c.tenants {
+                out.push_str(&format!(
+                    "{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3}\n",
+                    c.index,
+                    csv_quote(&c.device),
+                    csv_quote(&c.workload),
+                    csv_quote(&c.engine),
+                    c.replicate,
+                    csv_quote(&t.name),
+                    t.completed,
+                    t.reads,
+                    t.writes,
+                    t.bytes.value(),
+                    t.avg_latency().as_nanos(),
+                    t.p50_latency.as_nanos(),
+                    t.p95_latency.as_nanos(),
+                    t.p99_latency.as_nanos(),
+                    t.max_latency.as_nanos(),
+                ));
+            }
+        }
+        out
+    }
+
     /// Per-device averages over all cells, in first-appearance order (the
     /// Fig. 9 summary aggregation: plain means of per-cell bandwidth, EPB
     /// and average latency).
@@ -438,6 +574,20 @@ mod tests {
                     replicate: i % 2,
                     seed: 42 + i as u64,
                     stats: sample_stats(i as u64),
+                    tenants: (0..i % 3)
+                        .map(|t| TenantSummary {
+                            name: format!("tenant{t}"),
+                            completed: 10 + t as u64,
+                            reads: 8,
+                            writes: 2 + t as u64,
+                            bytes: ByteCount::new(640),
+                            total_latency: Time::from_nanos(1200.5),
+                            max_latency: Time::from_nanos(400.25),
+                            p50_latency: Time::from_nanos(90.0),
+                            p95_latency: Time::from_nanos(200.0),
+                            p99_latency: Time::from_nanos(300.0),
+                        })
+                        .collect(),
                 })
                 .collect(),
         }
@@ -461,6 +611,36 @@ mod tests {
         assert_eq!(lines.len(), 1 + r.cells.len());
         assert!(lines[0].starts_with("index,device,workload"));
         assert!(lines[1].starts_with("0,dev0,wl,frfcfs8-paced,0,42,"));
+    }
+
+    #[test]
+    fn tenant_csv_has_one_row_per_cell_tenant() {
+        let r = sample_report();
+        let csv = r.to_tenant_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        let expected: usize = r.cells.iter().map(|c| c.tenants.len()).sum();
+        assert!(expected > 0, "sample report carries tenants");
+        assert_eq!(lines.len(), 1 + expected);
+        assert!(lines[0].starts_with("index,device,workload,engine,replicate,tenant"));
+        assert!(lines[1].contains(",tenant0,"));
+    }
+
+    #[test]
+    fn reports_without_tenant_arrays_still_parse() {
+        // Backwards compatibility: exports from before per-tenant stats
+        // carry no "tenants" key and parse as tenant-less cells.
+        let mut r = sample_report();
+        for c in &mut r.cells {
+            c.tenants.clear();
+        }
+        let stripped = {
+            // Emit, then surgically drop the tenants arrays.
+            let text = r.to_json();
+            text.replace("\"tenants\": [],\n      ", "")
+        };
+        assert_ne!(stripped, r.to_json(), "substitution applied");
+        let back = CampaignReport::from_json(&stripped).expect("parses without tenants");
+        assert_eq!(back, r);
     }
 
     #[test]

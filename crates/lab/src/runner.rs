@@ -9,7 +9,7 @@
 //! the cell index, never on scheduling — so any thread count produces the
 //! identical [`CampaignReport`] (and therefore byte-identical exports).
 
-use crate::report::{CampaignReport, CellReport};
+use crate::report::{CampaignReport, CellReport, TenantSummary};
 use crate::spec::{CampaignSpec, WorkloadSource};
 use memsim::run_simulation;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -114,7 +114,7 @@ fn run_cell(spec: &CampaignSpec, index: usize) -> CellReport {
     let engine = &spec.engines[c.engine];
     let seed = spec.cell_seed(c.replicate);
 
-    let stats = if let Some(serve) = &engine.serve {
+    let (stats, tenants) = if let Some(serve) = &engine.serve {
         // Service cell: the event-driven comet-serve core. Sources are
         // generative, so the workload must be a profile (it shapes every
         // tenant that carries no profile of its own).
@@ -130,11 +130,18 @@ fn run_cell(spec: &CampaignSpec, index: usize) -> CellReport {
         } else {
             profile.clone()
         };
-        comet_serve::run_service(factory.as_ref(), serve, &profile, seed, workload.name()).stats
+        let report =
+            comet_serve::run_service(factory.as_ref(), serve, &profile, seed, workload.name());
+        let tenants = report
+            .tenants
+            .iter()
+            .map(TenantSummary::from_stats)
+            .collect();
+        (report.stats, tenants)
     } else {
         let mut device = factory.build();
         let config = engine.sim_config(workload.name());
-        match workload {
+        let stats = match workload {
             WorkloadSource::Profile(profile) => {
                 let profile = if spec.normalize_lines {
                     normalize_profile(profile, device.topology().line_bytes)
@@ -147,7 +154,8 @@ fn run_cell(spec: &CampaignSpec, index: usize) -> CellReport {
             WorkloadSource::Trace { requests, .. } => {
                 run_simulation(device.as_mut(), requests.as_slice(), &config)
             }
-        }
+        };
+        (stats, Vec::new())
     };
 
     CellReport {
@@ -158,6 +166,7 @@ fn run_cell(spec: &CampaignSpec, index: usize) -> CellReport {
         replicate: c.replicate,
         seed,
         stats,
+        tenants,
     }
 }
 
@@ -312,6 +321,20 @@ mod tests {
             assert_eq!(cell.stats.completed, 150, "{}", cell.device);
             assert!(cell.stats.p99_latency >= cell.stats.p50_latency);
             assert!(cell.stats.p50_latency > Time::ZERO);
+            // Per-tenant results ride on the cell and decompose the
+            // aggregate exactly.
+            assert_eq!(cell.tenants.len(), 1);
+            assert_eq!(cell.tenants[0].name, "closed");
+            assert_eq!(cell.tenants[0].completed, 150);
+            assert!(cell.tenants[0].p99_latency >= cell.tenants[0].p50_latency);
+        }
+        // Replay cells carry no tenants.
+        for cell in sequential
+            .cells
+            .iter()
+            .filter(|c| c.engine != "serve-closed4")
+        {
+            assert!(cell.tenants.is_empty());
         }
     }
 

@@ -18,8 +18,9 @@
 //! re-emits `text` byte-for-byte for any emitted spec (pinned by tests).
 
 use crate::json::{Json, JsonError};
-use crate::registry::device_by_name;
+use crate::registry::{device_by_name, device_names};
 use crate::spec::{CampaignSpec, EnginePoint, WorkloadSource};
+use comet_data::PayloadSpec;
 use comet_serve::{ArrivalProcess, BatchConfig, ServeSpec, TenantLoad, TenantSpec};
 use comet_units::{ByteCount, Time};
 use memsim::{AccessPattern, ReplayMode, Scheduler, WorkloadProfile};
@@ -44,7 +45,11 @@ impl fmt::Display for SpecError {
             SpecError::Json(e) => write!(f, "{e}"),
             SpecError::Schema(m) => write!(f, "spec schema error: {m}"),
             SpecError::UnknownDevice(d) => {
-                write!(f, "unknown device '{d}' (see `comet-lab --list`)")
+                write!(
+                    f,
+                    "unknown device '{d}'; registered devices: {}",
+                    device_names().join(", ")
+                )
             }
             SpecError::Unsupported(m) => write!(f, "unsupported in spec files: {m}"),
         }
@@ -145,6 +150,21 @@ fn process_to_json(p: ArrivalProcess) -> Json {
     }
 }
 
+fn payload_to_json(p: PayloadSpec) -> Json {
+    match p {
+        PayloadSpec::Zero => Json::object([("kind", Json::string("zero"))]),
+        PayloadSpec::Uniform => Json::object([("kind", Json::string("uniform"))]),
+        PayloadSpec::ToggleWords => Json::object([("kind", Json::string("toggle"))]),
+        PayloadSpec::SparseUpdate { flip_fraction } => Json::object([
+            ("kind", Json::string("sparse")),
+            ("flip_fraction", Json::float(flip_fraction)),
+        ]),
+        PayloadSpec::TransformerWeights { std } => {
+            Json::object([("kind", Json::string("weights")), ("std", Json::float(std))])
+        }
+    }
+}
+
 fn tenant_to_json(t: &TenantSpec) -> Json {
     let load = match t.load {
         TenantLoad::Open(process) => Json::object([
@@ -164,6 +184,7 @@ fn tenant_to_json(t: &TenantSpec) -> Json {
             "profile",
             t.profile.as_ref().map_or(Json::Null, profile_to_json),
         ),
+        ("payload", t.payload.map_or(Json::Null, payload_to_json)),
         ("load", load),
     ])
 }
@@ -349,6 +370,29 @@ fn process_from_json(j: &Json) -> Result<ArrivalProcess, SpecError> {
     }
 }
 
+fn payload_from_json(j: &Json) -> Result<PayloadSpec, SpecError> {
+    match str_field(j, "kind")?.as_str() {
+        "zero" => Ok(PayloadSpec::Zero),
+        "uniform" => Ok(PayloadSpec::Uniform),
+        "toggle" => Ok(PayloadSpec::ToggleWords),
+        "sparse" => {
+            let flip_fraction = positive_f64(j, "flip_fraction")?;
+            if flip_fraction > 1.0 {
+                return Err(schema(format!(
+                    "'flip_fraction' must be in (0, 1], got {flip_fraction}"
+                )));
+            }
+            Ok(PayloadSpec::SparseUpdate { flip_fraction })
+        }
+        "weights" => Ok(PayloadSpec::TransformerWeights {
+            std: positive_f64(j, "std")?,
+        }),
+        other => Err(schema(format!(
+            "unknown payload kind '{other}' (zero|uniform|toggle|sparse|weights)"
+        ))),
+    }
+}
+
 fn tenant_from_json(j: &Json) -> Result<TenantSpec, SpecError> {
     let load_json = field(j, "load")?;
     let load = match str_field(load_json, "kind")?.as_str() {
@@ -369,11 +413,18 @@ fn tenant_from_json(j: &Json) -> Result<TenantSpec, SpecError> {
         Json::Null => None,
         p => Some(profile_from_json(p)?),
     };
+    // Absent and null both mean "no payload", so pre-payload spec files
+    // keep parsing.
+    let payload = match j.get("payload") {
+        None | Some(Json::Null) => None,
+        Some(p) => Some(payload_from_json(p)?),
+    };
     Ok(TenantSpec {
         name: str_field(j, "name")?,
         profile,
         load,
         requests: u64_field(j, "requests")? as usize,
+        payload,
     })
 }
 
@@ -497,7 +548,9 @@ pub fn spec_from_json(text: &str) -> Result<CampaignSpec, SpecError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::registry::{serve_concurrency_axis, serve_load_axis, serve_mix_axis};
+    use crate::registry::{
+        payload_entropy_axis, serve_concurrency_axis, serve_load_axis, serve_mix_axis,
+    };
     use crate::runner::run_campaign;
 
     fn sample_spec() -> CampaignSpec {
@@ -523,6 +576,9 @@ mod tests {
             .extend(serve_concurrency_axis(&[4], Time::from_nanos(30.0), 60));
         spec.engines[1].serve.as_mut().unwrap().batch =
             Some(BatchConfig::new(Time::from_seconds(1.5e-7), 4));
+        // Every payload kind, so the round trip covers the data plane.
+        spec.engines
+            .extend(payload_entropy_axis(ArrivalProcess::poisson(2.5e7), 40));
         spec
     }
 
@@ -561,6 +617,10 @@ mod tests {
             // Out-of-range profile knobs trip generation asserts.
             ("\"read_fraction\": 0.85", "\"read_fraction\": 1.5"),
             ("\"line_bytes\": 64", "\"line_bytes\": 0"),
+            // Payload knobs: a zero or >1 flip fraction is meaningless.
+            ("\"flip_fraction\": 0.05", "\"flip_fraction\": 0.0"),
+            ("\"flip_fraction\": 0.05", "\"flip_fraction\": 1.5"),
+            ("\"kind\": \"weights\"", "\"kind\": \"entropy9000\""),
         ] {
             let bad = text.replace(from, to);
             assert_ne!(bad, text, "substitution '{from}' must apply");

@@ -1,0 +1,202 @@
+//! The data plane: line payloads and content-aware write pricing.
+//!
+//! The flat `write_line` energy every PCM configuration carries prices a
+//! write as if every cell were reprogrammed on every store. The biggest
+//! PCM lever in the literature says otherwise: most written bits do not
+//! change (Song et al., *Improving Phase Change Memory Performance with
+//! Data Content Aware Access*), and per-level transition pulses differ by
+//! an order of magnitude (Sevison et al., *Phase change dynamics and
+//! 2-dimensional 4-bit memory in Ge₂Sb₂Te₅*). Pricing that requires the
+//! stack to carry *content*:
+//!
+//! * [`LineData`] — a fixed-capacity, `Copy` cache-line payload that
+//!   rides on [`MemRequest`](crate::MemRequest) (and on the serve layer's
+//!   sourced requests) without heap traffic;
+//! * [`WritePricer`] — the contract a content-aware device delegates
+//!   write pricing to. The pricer sees the line's previously stored cell
+//!   image and the new payload, and returns energy, latency, programmed
+//!   cell counts and the new cell image. Policies (content-oblivious
+//!   per-level pricing, DCW read-modify-compare, Flip-N-Write) and the
+//!   MLC codec live above the simulator, in `comet-data`; the simulator
+//!   only owns the mechanism (the per-line store and the dispatch).
+//!
+//! Devices that do not override
+//! [`MemoryDevice::access_line`](crate::MemoryDevice::access_line) ignore
+//! payloads entirely, so the flat-cost baseline stays the default.
+
+use comet_units::{Energy, Time};
+use std::fmt;
+
+/// Capacity of a [`LineData`] payload — the widest cache line in the
+/// workspace (COMET's 128 B lines; DRAM/EPCM use 64 B).
+pub const MAX_LINE_BYTES: usize = 128;
+
+/// A cache-line payload: up to [`MAX_LINE_BYTES`] bytes, inline.
+///
+/// The type is `Copy` (requests are copied freely by the engines), always
+/// zero-fills its tail, and compares by content.
+///
+/// # Examples
+///
+/// ```
+/// use memsim::LineData;
+///
+/// let line = LineData::from_bytes(&[0xAB; 64]);
+/// assert_eq!(line.len(), 64);
+/// assert_eq!(line.bytes()[0], 0xAB);
+/// assert_eq!(line, LineData::from_bytes(&[0xAB; 64]));
+/// assert_ne!(line, LineData::zeroes(64));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LineData {
+    len: u8,
+    bytes: [u8; MAX_LINE_BYTES],
+}
+
+impl LineData {
+    /// Wraps a byte slice (zero-padding the unused tail).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` exceeds [`MAX_LINE_BYTES`].
+    pub fn from_bytes(data: &[u8]) -> Self {
+        assert!(
+            data.len() <= MAX_LINE_BYTES,
+            "line payload of {} bytes exceeds the {MAX_LINE_BYTES}-byte capacity",
+            data.len()
+        );
+        let mut bytes = [0u8; MAX_LINE_BYTES];
+        bytes[..data.len()].copy_from_slice(data);
+        LineData {
+            len: data.len() as u8,
+            bytes,
+        }
+    }
+
+    /// An all-zero payload of `len` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds [`MAX_LINE_BYTES`].
+    pub fn zeroes(len: usize) -> Self {
+        assert!(len <= MAX_LINE_BYTES, "line of {len} bytes too wide");
+        LineData {
+            len: len as u8,
+            bytes: [0u8; MAX_LINE_BYTES],
+        }
+    }
+
+    /// The payload bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes[..self.len as usize]
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl fmt::Debug for LineData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Full 128-byte dumps drown test output; show length + a prefix.
+        write!(f, "LineData({}B", self.len)?;
+        for b in self.bytes().iter().take(8) {
+            write!(f, " {b:02x}")?;
+        }
+        if self.len() > 8 {
+            write!(f, " …")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// The priced cost of one line write, as decided by a [`WritePricer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WriteCost {
+    /// Array energy of the write (pulses actually fired, plus any
+    /// read-modify-compare probe overhead the policy pays).
+    pub energy: Energy,
+    /// Array occupancy of the write (pulses fire in parallel across a
+    /// line's cells, so this is the slowest programmed cell — zero when
+    /// every cell is conserved).
+    pub latency: Time,
+    /// Cells whose state the write actually reprograms.
+    pub cells_written: u64,
+    /// Cells the line occupies.
+    pub cells_total: u64,
+}
+
+/// A priced write: its cost plus the cell image the device should store
+/// for the line (the pricer-private physical representation — e.g. levels
+/// plus Flip-N-Write flip bits). `None` means the policy keeps no state
+/// for the line (content-oblivious pricing) and any previous image is
+/// dropped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PricedWrite {
+    /// The cost of the write.
+    pub cost: WriteCost,
+    /// The new stored cell image, if the policy tracks one.
+    pub image: Option<Vec<u8>>,
+}
+
+/// Prices line writes from their content.
+///
+/// Implementations are deterministic pure functions of `(stored, data)`;
+/// the device owns the per-line image store and hands back the image the
+/// pricer returned for the line's previous write (`None` on first touch
+/// or after a payload-less write invalidated it).
+pub trait WritePricer: Send + fmt::Debug {
+    /// Prices writing `data` over the line's stored image.
+    fn price_write(&self, stored: Option<&[u8]>, data: &LineData) -> PricedWrite;
+
+    /// Prices a write whose content is unknown (a request that carries no
+    /// payload). Policies charge the content-oblivious worst case here,
+    /// and the device drops the line's image — its content is no longer
+    /// known.
+    fn price_unknown(&self, line_bytes: u64) -> WriteCost;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_roundtrip_and_equality() {
+        let data: Vec<u8> = (0..100u8).collect();
+        let line = LineData::from_bytes(&data);
+        assert_eq!(line.bytes(), &data[..]);
+        assert_eq!(line.len(), 100);
+        assert!(!line.is_empty());
+        // Tail zero-fill makes equality content-only.
+        let again = LineData::from_bytes(&data);
+        assert_eq!(line, again);
+    }
+
+    #[test]
+    fn zeroes_are_zero() {
+        let z = LineData::zeroes(64);
+        assert_eq!(z.len(), 64);
+        assert!(z.bytes().iter().all(|&b| b == 0));
+        assert!(LineData::zeroes(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn oversized_payload_rejected() {
+        let _ = LineData::from_bytes(&[0u8; MAX_LINE_BYTES + 1]);
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        let line = LineData::from_bytes(&[0xFF; 64]);
+        let text = format!("{line:?}");
+        assert!(text.len() < 64, "debug stays short: {text}");
+        assert!(text.contains("64B"));
+    }
+}

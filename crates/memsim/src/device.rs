@@ -6,6 +6,7 @@
 //! state (open rows, refresh, erase bookkeeping) and per-access energy.
 
 use crate::addr::DecodedAddress;
+use crate::data::LineData;
 use crate::request::MemOp;
 use comet_units::{ByteCount, Energy, Power, Time};
 use serde::{Deserialize, Serialize};
@@ -76,6 +77,22 @@ pub trait MemoryDevice: Send {
 
     /// Services one access at time `issue`, updating internal state.
     fn access(&mut self, loc: &DecodedAddress, op: MemOp, issue: Time) -> AccessTiming;
+
+    /// [`MemoryDevice::access`] with the request's line payload attached.
+    /// The engines always call this entry point; the default discards the
+    /// payload and delegates, so content-oblivious devices are untouched.
+    /// Content-aware devices (the EPCM data plane) override it to price
+    /// writes per cell transition against a backing line store.
+    fn access_line(
+        &mut self,
+        loc: &DecodedAddress,
+        op: MemOp,
+        issue: Time,
+        data: Option<&LineData>,
+    ) -> AccessTiming {
+        let _ = data;
+        self.access(loc, op, issue)
+    }
 
     /// Whether an access to `loc` would hit an open row buffer — used by
     /// FR-FCFS scheduling. Devices without row buffers return `false`.

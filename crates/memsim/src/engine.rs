@@ -178,7 +178,7 @@ pub fn run_simulation(
         let req = &requests[idx];
         let loc = &decoded[idx];
 
-        let timing = device.access(loc, req.op, issue);
+        let timing = device.access_line(loc, req.op, issue, req.payload.as_ref());
         let ch = loc.channel as usize;
         let transfer_start = timing.data_ready_at.max(bus_free[ch]);
         let transfer_end = transfer_start + timing.bus_occupancy;

@@ -32,6 +32,7 @@
 #![warn(missing_debug_implementations)]
 
 mod addr;
+mod data;
 mod device;
 mod dram;
 mod engine;
@@ -42,6 +43,7 @@ mod synth;
 mod trace;
 
 pub use addr::{AddressMap, AddressMapError, DecodedAddress, Interleave};
+pub use data::{LineData, PricedWrite, WriteCost, WritePricer, MAX_LINE_BYTES};
 pub use device::{AccessTiming, DeviceFactory, FnFactory, MemoryDevice, Topology};
 pub use dram::{DramConfig, DramDevice, DramEnergy, DramTimings, RowPolicy};
 pub use engine::{run_simulation, ReplayMode, Scheduler, SimConfig};

@@ -4,12 +4,22 @@
 //! DRAM, but asymmetric and slow writes (RESET melt pulses / SET
 //! crystallization pulses driven by current). Timing/energy follow the
 //! LL-PCM / DyPhase class of EPCM main-memory proposals the paper cites.
+//!
+//! The device optionally carries a **data plane**
+//! ([`EpcmDevice::with_pricer`]): a backing line store of pricer-private
+//! cell images plus a [`WritePricer`] that prices each write from its
+//! content (per-cell level transitions, DCW/Flip-N-Write write reduction —
+//! the policies live in `comet-data`). Without a pricer — or for requests
+//! that carry no payload — the flat `write_line` cost stays authoritative,
+//! so the content-oblivious baseline is untouched.
 
 use crate::addr::DecodedAddress;
+use crate::data::{LineData, WritePricer};
 use crate::device::{AccessTiming, DeviceFactory, MemoryDevice, Topology};
 use crate::request::MemOp;
 use comet_units::{Energy, Power, Time};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// EPCM configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -64,6 +74,30 @@ impl EpcmConfig {
     }
 }
 
+/// Running counters of a device's data plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DataPlaneStats {
+    /// Writes priced from their content.
+    pub priced_writes: u64,
+    /// Writes priced at the unknown-content worst case (no payload).
+    pub unpriced_writes: u64,
+    /// Cells actually reprogrammed across priced writes.
+    pub cells_written: u64,
+    /// Cells the priced writes spanned.
+    pub cells_total: u64,
+}
+
+/// The optional content-aware write path of an [`EpcmDevice`].
+#[derive(Debug)]
+struct DataPlane {
+    pricer: Box<dyn WritePricer>,
+    /// Per-line cell images, keyed by decoded location. Each line lives in
+    /// exactly one channel, so channel-sharded service runs stay
+    /// byte-identical for any shard count.
+    store: HashMap<(u64, u64, u64, u64), Vec<u8>>,
+    stats: DataPlaneStats,
+}
+
 /// A stateless-timing EPCM device (no rows to keep open, no refresh).
 ///
 /// # Examples
@@ -74,20 +108,56 @@ impl EpcmConfig {
 /// let dev = EpcmDevice::new(EpcmConfig::epcm_mm());
 /// assert_eq!(dev.name(), "EPCM-MM");
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct EpcmDevice {
     config: EpcmConfig,
+    data: Option<DataPlane>,
 }
 
 impl EpcmDevice {
-    /// Creates a device.
+    /// Creates a flat-cost device (every write prices at `write_line`).
     pub fn new(config: EpcmConfig) -> Self {
-        EpcmDevice { config }
+        EpcmDevice { config, data: None }
+    }
+
+    /// Creates a content-aware device: writes that carry a payload are
+    /// priced by `pricer` against the line's previously stored cell image
+    /// instead of the flat `write_line`/`write_latency` pair. Reads and
+    /// payload-less writes keep the flat path (the latter at the pricer's
+    /// unknown-content worst case).
+    pub fn with_pricer(config: EpcmConfig, pricer: Box<dyn WritePricer>) -> Self {
+        EpcmDevice {
+            config,
+            data: Some(DataPlane {
+                pricer,
+                store: HashMap::new(),
+                stats: DataPlaneStats::default(),
+            }),
+        }
     }
 
     /// The configuration.
     pub fn config(&self) -> &EpcmConfig {
         &self.config
+    }
+
+    /// Data-plane counters (`None` for flat-cost devices).
+    pub fn data_plane_stats(&self) -> Option<DataPlaneStats> {
+        self.data.as_ref().map(|d| d.stats)
+    }
+
+    /// Timing skeleton of a write: transfer first, then the array holds
+    /// the bank for `array` (the flat path passes `write_latency`; the
+    /// content-aware path the priced pulse occupancy).
+    fn write_timing(&self, issue: Time, array: Time, energy: Energy) -> AccessTiming {
+        let transfer = self.config.line_transfer();
+        let data_ready = issue + transfer;
+        AccessTiming {
+            bank_free_at: data_ready + array,
+            data_ready_at: data_ready,
+            bus_occupancy: transfer,
+            energy,
+        }
     }
 }
 
@@ -126,17 +196,53 @@ impl MemoryDevice for EpcmDevice {
                     energy: self.config.read_line,
                 }
             }
+            // Data moves first, then the slow array write holds the bank.
             MemOp::Write => {
-                // Data moves first, then the slow array write holds the bank.
-                let data_ready = issue + transfer;
-                AccessTiming {
-                    bank_free_at: data_ready + self.config.write_latency,
-                    data_ready_at: data_ready,
-                    bus_occupancy: transfer,
-                    energy: self.config.write_line,
-                }
+                self.write_timing(issue, self.config.write_latency, self.config.write_line)
             }
         }
+    }
+
+    fn access_line(
+        &mut self,
+        loc: &DecodedAddress,
+        op: MemOp,
+        issue: Time,
+        data: Option<&LineData>,
+    ) -> AccessTiming {
+        // Reads never consult the pricer; flat devices have none.
+        if op.is_read() || self.data.is_none() {
+            return self.access(loc, op, issue);
+        }
+        let plane = self.data.as_mut().expect("checked above");
+        let key = (loc.channel, loc.bank, loc.row, loc.column);
+        let cost = match data {
+            Some(line) => {
+                let priced = plane
+                    .pricer
+                    .price_write(plane.store.get(&key).map(Vec::as_slice), line);
+                match priced.image {
+                    Some(image) => {
+                        plane.store.insert(key, image);
+                    }
+                    None => {
+                        plane.store.remove(&key);
+                    }
+                }
+                plane.stats.priced_writes += 1;
+                plane.stats.cells_written += priced.cost.cells_written;
+                plane.stats.cells_total += priced.cost.cells_total;
+                priced.cost
+            }
+            None => {
+                // Unknown content: worst-case price, and the stored image
+                // no longer describes the line.
+                plane.store.remove(&key);
+                plane.stats.unpriced_writes += 1;
+                plane.pricer.price_unknown(self.config.topology.line_bytes)
+            }
+        };
+        self.write_timing(issue, cost.latency, cost.energy)
     }
 
     fn background_power(&self) -> Power {
@@ -187,5 +293,96 @@ mod tests {
         let a = dev.access(&loc(), MemOp::Read, Time::from_nanos(100.0));
         let b = dev.access(&loc(), MemOp::Read, Time::from_nanos(100.0));
         assert_eq!(a, b);
+    }
+
+    /// A toy pricer: 1 pJ and 1 ns per byte that differs from the stored
+    /// image (all bytes on first touch); the image is the raw payload.
+    #[derive(Debug)]
+    struct BytePricer;
+
+    impl crate::WritePricer for BytePricer {
+        fn price_write(&self, stored: Option<&[u8]>, data: &crate::LineData) -> crate::PricedWrite {
+            let new = data.bytes();
+            let changed = match stored {
+                Some(old) => new
+                    .iter()
+                    .zip(old.iter().chain(std::iter::repeat(&0)))
+                    .filter(|(n, o)| n != o)
+                    .count(),
+                None => new.len(),
+            } as u64;
+            crate::PricedWrite {
+                cost: crate::WriteCost {
+                    energy: Energy::from_picojoules(changed as f64),
+                    latency: Time::from_nanos(changed as f64),
+                    cells_written: changed,
+                    cells_total: new.len() as u64,
+                },
+                image: Some(new.to_vec()),
+            }
+        }
+
+        fn price_unknown(&self, line_bytes: u64) -> crate::WriteCost {
+            crate::WriteCost {
+                energy: Energy::from_picojoules(line_bytes as f64),
+                latency: Time::from_nanos(line_bytes as f64),
+                cells_written: line_bytes,
+                cells_total: line_bytes,
+            }
+        }
+    }
+
+    #[test]
+    fn content_aware_writes_price_against_the_line_store() {
+        let mut dev = EpcmDevice::with_pricer(EpcmConfig::epcm_mm(), Box::new(BytePricer));
+        let line = crate::LineData::from_bytes(&[7u8; 64]);
+        // First touch: every byte programs.
+        let a = dev.access_line(&loc(), MemOp::Write, Time::ZERO, Some(&line));
+        assert!((a.energy.as_picojoules() - 64.0).abs() < 1e-9);
+        // Rewriting identical content is free array-wise.
+        let b = dev.access_line(&loc(), MemOp::Write, Time::ZERO, Some(&line));
+        assert_eq!(b.energy, Energy::ZERO);
+        assert_eq!(
+            b.bank_free_at, b.data_ready_at,
+            "conserved write holds no array time"
+        );
+        // One changed byte prices one transition.
+        let mut bytes = [7u8; 64];
+        bytes[3] = 9;
+        let c = dev.access_line(
+            &loc(),
+            MemOp::Write,
+            Time::ZERO,
+            Some(&crate::LineData::from_bytes(&bytes)),
+        );
+        assert!((c.energy.as_picojoules() - 1.0).abs() < 1e-9);
+        let stats = dev.data_plane_stats().expect("data plane present");
+        assert_eq!(stats.priced_writes, 3);
+        assert_eq!(stats.cells_written, 65);
+        assert_eq!(stats.cells_total, 3 * 64);
+    }
+
+    #[test]
+    fn payloadless_writes_invalidate_the_store() {
+        let mut dev = EpcmDevice::with_pricer(EpcmConfig::epcm_mm(), Box::new(BytePricer));
+        let line = crate::LineData::from_bytes(&[7u8; 64]);
+        let _ = dev.access_line(&loc(), MemOp::Write, Time::ZERO, Some(&line));
+        // No payload: worst-case price, image dropped...
+        let unknown = dev.access_line(&loc(), MemOp::Write, Time::ZERO, None);
+        assert!((unknown.energy.as_picojoules() - 64.0).abs() < 1e-9);
+        // ...so the next identical payload programs from scratch.
+        let again = dev.access_line(&loc(), MemOp::Write, Time::ZERO, Some(&line));
+        assert!((again.energy.as_picojoules() - 64.0).abs() < 1e-9);
+        assert_eq!(dev.data_plane_stats().unwrap().unpriced_writes, 1);
+    }
+
+    #[test]
+    fn flat_devices_ignore_payloads() {
+        let mut dev = EpcmDevice::new(EpcmConfig::epcm_mm());
+        let line = crate::LineData::zeroes(64);
+        let with = dev.access_line(&loc(), MemOp::Write, Time::ZERO, Some(&line));
+        let without = dev.access(&loc(), MemOp::Write, Time::ZERO);
+        assert_eq!(with, without);
+        assert!(dev.data_plane_stats().is_none());
     }
 }

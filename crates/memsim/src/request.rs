@@ -1,5 +1,6 @@
 //! Memory requests and completions.
 
+use crate::data::LineData;
 use comet_units::{ByteCount, Time};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -52,10 +53,13 @@ pub struct MemRequest {
     pub address: u64,
     /// Transfer size (normally one cache line).
     pub size: ByteCount,
+    /// The written line content, when the trace carries data. Payload-less
+    /// requests price at the device's flat (content-oblivious) cost.
+    pub payload: Option<LineData>,
 }
 
 impl MemRequest {
-    /// Creates a request.
+    /// Creates a payload-less request.
     pub fn new(id: u64, arrival: Time, op: MemOp, address: u64, size: ByteCount) -> Self {
         MemRequest {
             id,
@@ -63,7 +67,25 @@ impl MemRequest {
             op,
             address,
             size,
+            payload: None,
         }
+    }
+
+    /// Attaches a line payload (builder style).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use comet_units::{ByteCount, Time};
+    /// use memsim::{LineData, MemOp, MemRequest};
+    ///
+    /// let req = MemRequest::new(0, Time::ZERO, MemOp::Write, 0x80, ByteCount::new(64))
+    ///     .with_payload(LineData::zeroes(64));
+    /// assert_eq!(req.payload.unwrap().len(), 64);
+    /// ```
+    pub fn with_payload(mut self, payload: LineData) -> Self {
+        self.payload = Some(payload);
+        self
     }
 }
 

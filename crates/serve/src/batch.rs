@@ -109,9 +109,13 @@ impl WriteBatcher {
         match self.pending.get_mut(&key) {
             Some(batch) => {
                 // Same line already held: coalesce — the held access will
-                // complete this request too.
+                // complete this request too, and since only the last
+                // store's bytes reach the array, the newcomer's payload
+                // replaces the host's (a payload-less newcomer makes the
+                // merged content unknown, deliberately).
                 if let Some(host) = batch.writes.iter_mut().find(|w| w.address == q.address) {
                     host.absorbed.push((q.id, q.tenant, q.arrival));
+                    host.payload = q.payload;
                     self.coalesced += 1;
                     return Vec::new();
                 }

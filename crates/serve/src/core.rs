@@ -36,8 +36,8 @@ use crate::source::{MuxPoll, RequestSource, TenantMux, TenantSpec};
 use crate::stats::{ChannelStats, DepthSeries, ServeReport, TailHistogram, TenantStats};
 use comet_units::{ByteCount, Energy, Time};
 use memsim::{
-    AddressMap, CompletedRequest, DecodedAddress, DeviceFactory, Interleave, MemOp, MemRequest,
-    MemoryDevice, Scheduler, SimStats, WorkloadProfile,
+    AddressMap, CompletedRequest, DecodedAddress, DeviceFactory, Interleave, LineData, MemOp,
+    MemRequest, MemoryDevice, Scheduler, SimStats, WorkloadProfile,
 };
 use std::cmp::{Ordering, Reverse};
 use std::collections::{BinaryHeap, VecDeque};
@@ -55,6 +55,9 @@ pub(crate) struct Queued {
     /// Earliest issue time (arrival, or the batch release for held writes).
     pub(crate) ready: Time,
     pub(crate) loc: DecodedAddress,
+    /// The written line content (the *newest* store's data when same-line
+    /// writes coalesce — only the last store's bytes reach the array).
+    pub(crate) payload: Option<LineData>,
     /// Same-line writes coalesced into this one: `(id, tenant, arrival)`.
     pub(crate) absorbed: Vec<(u64, usize, Time)>,
 }
@@ -348,6 +351,7 @@ pub fn run_service_with_sources(
                     arrival: s.arrival,
                     ready: s.arrival,
                     loc,
+                    payload: s.payload,
                     absorbed: Vec::new(),
                 };
                 next_id += 1;
@@ -378,7 +382,7 @@ pub fn run_service_with_sources(
                 let (_, bank, pos) = issue.expect("issue candidate present");
                 let q = queues[bank].remove(pos).expect("position was validated");
                 let shard = shards[(q.loc.channel as usize) % shard_count].as_mut();
-                let timing = shard.access(&q.loc, q.op, now);
+                let timing = shard.access_line(&q.loc, q.op, now, q.payload.as_ref());
                 let ch = q.loc.channel as usize;
                 let transfer_start = timing.data_ready_at.max(bus_free[ch]);
                 let transfer_end = transfer_start + timing.bus_occupancy;

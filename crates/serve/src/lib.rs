@@ -10,7 +10,9 @@
 //!   ([`ArrivalProcess`]: deterministic-rate, Poisson, bursty on/off) and
 //!   closed-loop clients (fixed concurrency with think time), each seeded
 //!   and deterministic, interleaved by a multi-tenant [`TenantMux`] with
-//!   per-tenant accounting;
+//!   per-tenant accounting; tenants optionally source *line payloads*
+//!   ([`TenantSpec::with_payload`], a `comet_data::PayloadSpec`) so
+//!   content-aware devices price every store from its actual bytes;
 //! * **A channel-sharded service core** ([`run_service`]) — one logical
 //!   simulation partitioned across channel-owned
 //!   [`memsim::MemoryDevice`] backends (address-interleaved through

@@ -7,12 +7,13 @@
 //! aggregate exactly; closed loops bound in-flight depth by their client
 //! count; the batch stage never loses requests.
 
+use comet_data::{DataPolicy, DataWriteModel, PayloadSpec};
 use comet_serve::{
     run_service, ArrivalProcess, BatchConfig, MuxPoll, ServeSpec, SourcePoll, StreamShape,
     TenantMux, TenantSpec,
 };
 use comet_units::{ByteCount, Time};
-use memsim::{AccessPattern, DramConfig, EpcmConfig, WorkloadProfile};
+use memsim::{AccessPattern, DramConfig, EpcmConfig, EpcmDevice, FnFactory, WorkloadProfile};
 use proptest::prelude::*;
 
 fn any_process() -> impl Strategy<Value = ArrivalProcess> {
@@ -179,6 +180,45 @@ proptest! {
         prop_assert_eq!(bytes, sharded.stats.bytes.value());
         let tenant_total: u64 = sharded.tenants.iter().map(|t| t.completed).sum();
         prop_assert_eq!(tenant_total, sharded.stats.completed);
+    }
+
+    // --- payload-carrying traffic --------------------------------------------
+
+    #[test]
+    fn payload_enabled_runs_are_shard_invariant(
+        shards in 1usize..=8,
+        payload_index in 0usize..5,
+        read_fraction in 0.0f64..=0.9,
+    ) {
+        // A 4-channel content-aware EPCM: each shard owns disjoint
+        // channels, each channel's line store sees exactly its own lines,
+        // so the report — including DCW-priced write energy — must be
+        // identical for any shard count.
+        let payload = PayloadSpec::entropy_sweep()[payload_index];
+        let factory = FnFactory::new("EPCM-4ch-DCW", || {
+            let mut cfg = EpcmConfig::epcm_mm();
+            cfg.name = "EPCM-4ch-DCW".into();
+            cfg.topology.channels = 4;
+            Box::new(EpcmDevice::with_pricer(
+                cfg,
+                Box::new(DataWriteModel::gst(4, DataPolicy::Dcw)),
+            ))
+        });
+        let mut p = profile("payload-prop", read_fraction, AccessPattern::Random);
+        p.footprint = ByteCount::new(64 * 64); // revisit lines fast
+        let run = |shards: usize| {
+            let spec = ServeSpec::open_loop(ArrivalProcess::poisson(2.0e8), 200)
+                .with_shards(shards);
+            let mut spec = spec;
+            spec.tenants[0] = spec.tenants[0].clone().with_payload(payload);
+            run_service(&factory, &spec, &p, 31, "payload-prop")
+        };
+        let baseline = run(1);
+        let sharded = run(shards);
+        prop_assert_eq!(&sharded.stats, &baseline.stats, "{}", payload);
+        prop_assert_eq!(&sharded.tenants, &baseline.tenants);
+        prop_assert_eq!(&sharded.channels, &baseline.channels);
+        prop_assert!(baseline.stats.energy.access > comet_units::Energy::ZERO);
     }
 
     // --- closed loops and batching -------------------------------------------
